@@ -1,0 +1,27 @@
+"""Bench (extension): three-Cs decomposition vs achieved removal.
+
+Checks the structural relationship between the classification and the
+optimizer: with no capacity component the conflict pool strictly
+bounds removal (first touches always miss); with one, hashing may
+exceed it — LRU-relative "capacity" is not information-theoretic
+(paper Sec. 6.1)."""
+
+from benchmarks.conftest import bench_scale, publish
+from repro.experiments.miss_classification import (
+    format_miss_classification,
+    run_miss_classification,
+)
+
+
+def test_miss_classification(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_miss_classification,
+        kwargs={"scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "miss_classification", format_miss_classification(rows))
+    for row in rows:
+        if row.breakdown.capacity == 0:
+            # Hard bound: only conflicts are removable beyond warmup.
+            assert row.removed_percent <= row.conflict_percent + 1e-6, row.benchmark

@@ -1,0 +1,12 @@
+"""Bench: regenerate the Sec. 2 design-space counts (Eq. 3)."""
+
+from benchmarks.conftest import publish
+from repro.experiments.counting import format_counting, run_counting
+
+
+def test_counting(benchmark, results_dir):
+    results = benchmark(run_counting)
+    first = results[0]
+    assert f"{first.distinct_null_spaces:.1e}" == "6.3e+19"
+    assert f"{first.full_rank_matrices:.1e}" == "3.4e+38"
+    publish(results_dir, "counting", format_counting(results))

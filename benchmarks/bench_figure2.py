@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig. 2 (selection networks + Sec. 5 wiring)."""
+
+from benchmarks.conftest import publish
+from repro.experiments.figure2 import format_figure2, run_figure2
+
+
+def test_figure2(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_figure2, kwargs={"n": 16, "m": 8, "verify_addresses": 2048},
+        rounds=1, iterations=1,
+    )
+    assert result.wiring["permutation-based"].crossings == 64
+    assert result.wiring["bit-select"].crossings == 256
+    publish(results_dir, "figure2", format_figure2(result))

@@ -1,0 +1,26 @@
+"""Bench: regenerate the paper's first Sec. 6 experiment — general
+XOR-functions vs permutation-based functions on data caches.
+
+The claim under test: restricting the design space to permutation-based
+functions costs almost nothing (paper: 34.6/44.0/26.9 vs 32.3/43.9/26.7).
+"""
+
+from benchmarks.conftest import bench_scale, publish
+from repro.experiments.general_vs_perm import (
+    format_general_vs_perm,
+    run_general_vs_perm,
+)
+
+
+def test_general_vs_permutation(benchmark, results_dir):
+    results = benchmark.pedantic(
+        run_general_vs_perm,
+        kwargs={"scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "general_vs_perm", format_general_vs_perm(results))
+    for r in results:
+        assert abs(r.gap) < 10.0, (
+            f"{r.cache_bytes}B: permutation restriction cost {r.gap:.1f} points"
+        )

@@ -1,0 +1,24 @@
+"""Bench (extension): fixed polynomial hashing (Rau, paper ref. [9])
+vs application-specific XOR-indexing — the paper's implicit premise,
+measured."""
+
+from benchmarks.conftest import bench_scale, publish
+from repro.experiments.polynomial_baseline import (
+    format_polynomial_baseline,
+    run_polynomial_baseline,
+)
+
+
+def test_polynomial_baseline(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_polynomial_baseline,
+        kwargs={"scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "polynomial_baseline", format_polynomial_baseline(rows))
+    avg_app = sum(r.app_specific_removed for r in rows) / len(rows)
+    avg_fixed = sum(r.fixed_poly_removed for r in rows) / len(rows)
+    # Application-specific tuning beats the hard-wired polynomial on
+    # average — the reason for reconfigurability.
+    assert avg_app > avg_fixed

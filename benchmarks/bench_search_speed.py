@@ -1,0 +1,37 @@
+"""Bench: the paper's Sec. 3.2 runtime claim.
+
+"This algorithm constructs a hash function in 0.5 to 10 seconds on a
+2 GHz Pentium 4" — here we time one hill-climb per family and cache
+size on a real workload profile (measured as proper pytest-benchmark
+rounds, since a single search is cheap)."""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.cache.geometry import CacheGeometry, PAPER_HASHED_BITS
+from repro.profiling.conflict_profile import profile_trace
+from repro.search.families import family_for_name
+from repro.search.hill_climb import hill_climb
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    trace = get_workload("mibench", "jpeg_dec", bench_scale()).data
+    out = {}
+    for size in (1024, 4096, 16384):
+        geometry = CacheGeometry.direct_mapped(size)
+        out[size] = profile_trace(trace, geometry, PAPER_HASHED_BITS)
+    return out
+
+
+@pytest.mark.parametrize("family", ["1-in", "2-in", "4-in", "16-in", "general"])
+@pytest.mark.parametrize("size", [1024, 4096, 16384])
+def test_search_speed(benchmark, profiles, family, size):
+    geometry = CacheGeometry.direct_mapped(size)
+    fam = family_for_name(family, PAPER_HASHED_BITS, geometry.index_bits)
+    profile = profiles[size]
+    result = benchmark(hill_climb, profile, fam)
+    assert result.function.is_full_rank
+    # Far faster than the paper's 0.5-10 s budget on modern hardware.
+    assert result.seconds < 10.0

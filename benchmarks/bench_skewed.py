@@ -1,0 +1,19 @@
+"""Bench (extension): application-specific DM indexing vs the related
+work's skewed-associative cache and conventional 2-way LRU."""
+
+from benchmarks.conftest import bench_scale, publish
+from repro.experiments.skewed_comparison import (
+    format_skewed_comparison,
+    run_skewed_comparison,
+)
+
+
+def test_skewed_comparison(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_skewed_comparison,
+        kwargs={"scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "skewed_comparison", format_skewed_comparison(rows))
+    assert len(rows) == 10

@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Table 1 (reconfigurable-indexing switch counts).
+
+Exactly reproducible — the bench asserts every cell equals the paper.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1(benchmark, results_dir):
+    cells = benchmark(run_table1)
+    assert all(cell.matches_paper for cell in cells)
+    publish(results_dir, "table1", format_table1(cells))

@@ -1,0 +1,27 @@
+"""Bench: regenerate paper Table 2, data-cache half.
+
+Ten MiBench/MediaBench kernels x {1, 4, 16} KB direct-mapped caches x
+{2-in, 4-in, 16-in} permutation families.  Checks the paper's
+qualitative claims on the regenerated table.
+"""
+
+from benchmarks.conftest import bench_scale, publish
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2_data_caches(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs={"kind": "data", "scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "table2_dcache", format_table2(result))
+
+    # Paper shape: removing a substantial share of misses on average.
+    for size in (1024, 4096):
+        assert result.average_removed(size, "2-in") > 0
+    # 2-in within a few points of unrestricted fan-in (paper: <= 4.5).
+    for size in (1024, 4096, 16384):
+        gap = result.average_removed(size, "16-in") - result.average_removed(size, "2-in")
+        assert gap < 15

@@ -1,0 +1,45 @@
+"""Benchmark configuration.
+
+Each paper table/figure has one bench module.  Experiment benches run
+the full driver once per benchmark round (``pedantic`` with a single
+round: regenerating a table *is* the measured unit) and print the
+regenerated table so the run doubles as the reproduction artifact;
+outputs are also written to ``benchmarks/results/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload scale for the experiment benches
+  (``tiny`` / ``small`` / ``default``; default ``small``).
+* ``REPRO_TABLE3_OPT`` — ``exact`` (paper-faithful, slower) or
+  ``estimate`` for Table 3's optimal column (default ``exact``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def table3_opt_mode() -> str:
+    return os.environ.get("REPRO_TABLE3_OPT", "exact")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

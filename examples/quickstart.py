@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: remove conflict misses from one application's cache.
+
+This is the paper's headline flow end to end:
+
+1. get an application's memory-access trace (here: the MiBench FFT);
+2. profile it once with the Fig. 1 algorithm;
+3. hill-climb a 2-input permutation-based XOR-function (Sec. 3.2);
+4. verify the winner by exact cache simulation;
+5. program the cheap reconfigurable selector network of Sec. 5.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CacheGeometry, optimize_for_trace
+from repro.hardware import PermutationNetwork, render_network
+from repro.workloads import get_trace
+
+
+def main() -> None:
+    # 1. The application's data-address trace.  At this scale the FFT's
+    # real/imaginary arrays are 4 KB each and 4 KB-aligned — element i
+    # of both arrays lands in the same set of a 4 KB direct-mapped
+    # cache, the classic conflict pattern of Sec. 1.
+    trace = get_trace("mibench", "fft", kind="data", scale="default")
+    print(f"workload: {trace.name}, {len(trace)} references, {trace.uops} uops")
+
+    # 2-4. Profile, search and verify for a 4 KB direct-mapped cache.
+    geometry = CacheGeometry.direct_mapped(4096)
+    result = optimize_for_trace(trace, geometry, family="2-in")
+
+    print(f"cache:    {geometry}")
+    print(f"baseline: {result.baseline.misses} misses "
+          f"({result.base_misses_per_kuop(trace.uops):.1f}/K-uop)")
+    print(f"hashed:   {result.optimized.misses} misses "
+          f"({result.removed_percent:.1f}% removed)")
+    print()
+    print("constructed XOR-function (one line per set-index bit):")
+    print(result.hash_function.describe())
+    print()
+
+    # 5. Deploy on the permutation-based selector network (Fig. 2b):
+    # 70 switches for this 16->10 configuration, vs 256 for naive
+    # reconfigurable bit selection (Table 1).
+    network = PermutationNetwork(16, geometry.index_bits)
+    network.configure_from(result.hash_function)
+    print(f"hardware: {network.switch_count} switches, "
+          f"{network.config_bit_count} config bits")
+    print(render_network(network))
+
+
+if __name__ == "__main__":
+    main()

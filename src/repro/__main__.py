@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``optimize``  — construct an index function for a bundled workload;
+* ``tables``    — regenerate the paper's tables/figures;
+* ``workloads`` — list the bundled benchmark kernels;
+* ``classify``  — three-Cs miss breakdown for a workload and cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import CacheGeometry, optimize_for_trace
+from repro.cache.classify import classify_misses
+from repro.workloads import SUITES, get_workload, workload_names
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("suite", choices=sorted(SUITES), help="benchmark suite")
+    parser.add_argument("name", help="kernel name (see `workloads`)")
+    parser.add_argument(
+        "--kind", choices=("data", "instruction"), default="data",
+        help="which address stream to use",
+    )
+    parser.add_argument(
+        "--scale", choices=("tiny", "small", "default", "large"), default="small"
+    )
+    parser.add_argument("--cache-kb", type=int, default=4, help="cache size in KB")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    trace = get_workload(args.suite, args.name, args.scale, args.seed).trace(args.kind)
+    geometry = CacheGeometry.direct_mapped(args.cache_kb * 1024)
+    result = optimize_for_trace(
+        trace, geometry, family=args.family, guard=args.guard
+    )
+    print(result.summary())
+    print(f"search: {result.search.steps} steps, "
+          f"{result.search.evaluations} evaluations, "
+          f"{result.search.seconds:.2f}s")
+    print()
+    print(result.hash_function.describe())
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    trace = get_workload(args.suite, args.name, args.scale, args.seed).trace(args.kind)
+    geometry = CacheGeometry.direct_mapped(args.cache_kb * 1024)
+    blocks = trace.block_addresses(geometry.block_size)
+    breakdown = classify_misses(blocks, geometry)
+    print(f"{trace.name} ({args.kind}) @ {geometry}")
+    print(breakdown.format())
+    return 0
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    for suite in sorted(SUITES):
+        print(f"{suite}:")
+        for name in workload_names(suite):
+            print(f"  {name}")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        format_counting,
+        format_general_vs_perm,
+        format_table1,
+        format_table2,
+        format_table3,
+        run_general_vs_perm,
+        run_table2,
+        run_table3,
+    )
+
+    which = set(args.only) if args.only else {"counting", "table1", "table2", "table3", "general-vs-perm"}
+    if "counting" in which:
+        print(format_counting())
+        print()
+    if "table1" in which:
+        print(format_table1())
+        print()
+    if "general-vs-perm" in which:
+        print(format_general_vs_perm(run_general_vs_perm(scale=args.scale)))
+        print()
+    if "table2" in which:
+        print(format_table2(run_table2(kind="data", scale=args.scale)))
+        print()
+        print(format_table2(run_table2(kind="instruction", scale=args.scale)))
+        print()
+    if "table3" in which:
+        print(format_table3(run_table3(scale=args.scale, max_refs=40_000)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Application-specific reconfigurable XOR-indexing (DATE 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_opt = sub.add_parser("optimize", help="construct an index function")
+    _add_workload_args(p_opt)
+    p_opt.add_argument(
+        "--family", default="2-in",
+        choices=("1-in", "2-in", "4-in", "16-in", "general"),
+    )
+    p_opt.add_argument(
+        "--guard", action="store_true",
+        help="revert to modulo indexing if the function adds misses (Sec. 6)",
+    )
+    p_opt.set_defaults(func=cmd_optimize)
+
+    p_cls = sub.add_parser("classify", help="three-Cs miss breakdown")
+    _add_workload_args(p_cls)
+    p_cls.set_defaults(func=cmd_classify)
+
+    p_wl = sub.add_parser("workloads", help="list bundled kernels")
+    p_wl.set_defaults(func=cmd_workloads)
+
+    p_tab = sub.add_parser("tables", help="regenerate paper tables")
+    p_tab.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default="tiny"
+    )
+    p_tab.add_argument(
+        "--only", nargs="*", default=None,
+        choices=("counting", "table1", "table2", "table3", "general-vs-perm"),
+    )
+    p_tab.set_defaults(func=cmd_tables)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Cache-simulator substrate: geometries, indexing policies, engines."""
+
+from repro.cache.classify import MissBreakdown, classify_misses
+from repro.cache.direct_mapped import (
+    miss_vector_direct_mapped,
+    simulate_direct_mapped,
+    simulate_direct_mapped_scalar,
+)
+from repro.cache.fully_assoc import simulate_fully_associative
+from repro.cache.geometry import PAPER_GEOMETRIES, PAPER_HASHED_BITS, CacheGeometry
+from repro.cache.indexing import (
+    BitSelectIndexing,
+    IndexingPolicy,
+    ModuloIndexing,
+    XorIndexing,
+)
+from repro.cache.set_assoc import simulate_set_associative
+from repro.cache.skewed import simulate_skewed
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "CacheGeometry",
+    "PAPER_GEOMETRIES",
+    "PAPER_HASHED_BITS",
+    "CacheStats",
+    "IndexingPolicy",
+    "ModuloIndexing",
+    "BitSelectIndexing",
+    "XorIndexing",
+    "simulate_direct_mapped",
+    "simulate_direct_mapped_scalar",
+    "miss_vector_direct_mapped",
+    "simulate_set_associative",
+    "simulate_fully_associative",
+    "simulate_skewed",
+    "MissBreakdown",
+    "classify_misses",
+]

@@ -1,0 +1,80 @@
+"""Direct-mapped cache simulation.
+
+Two interchangeable engines:
+
+* :func:`simulate_direct_mapped` — vectorized.  Stable-sorts references
+  by set index (preserving program order inside each set) and counts tag
+  changes within each set's run.  A direct-mapped set holds exactly the
+  most recent tag, so an access misses iff it is the first to its set or
+  its tag differs from the immediately preceding access to that set.
+* :func:`simulate_direct_mapped_scalar` — the obvious frame-array loop,
+  kept as the oracle for property tests.
+
+Both return identical :class:`~repro.cache.stats.CacheStats`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.indexing import IndexingPolicy
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "simulate_direct_mapped",
+    "simulate_direct_mapped_scalar",
+    "miss_vector_direct_mapped",
+]
+
+
+def miss_vector_direct_mapped(
+    blocks: np.ndarray, indexing: IndexingPolicy
+) -> np.ndarray:
+    """Boolean per-reference miss vector for a direct-mapped cache."""
+    blocks = np.asarray(blocks, dtype=np.uint64)
+    count = len(blocks)
+    if count == 0:
+        return np.zeros(0, dtype=bool)
+    idx, tags = indexing.split_array(blocks)
+    order = np.argsort(idx, kind="stable")
+    sorted_idx = idx[order]
+    sorted_tags = tags[order]
+    miss_sorted = np.empty(count, dtype=bool)
+    miss_sorted[0] = True
+    same_set = sorted_idx[1:] == sorted_idx[:-1]
+    same_tag = sorted_tags[1:] == sorted_tags[:-1]
+    miss_sorted[1:] = ~(same_set & same_tag)
+    misses = np.empty(count, dtype=bool)
+    misses[order] = miss_sorted
+    return misses
+
+
+def simulate_direct_mapped(blocks: np.ndarray, indexing: IndexingPolicy) -> CacheStats:
+    """Vectorized direct-mapped simulation of a block-address trace."""
+    blocks = np.asarray(blocks, dtype=np.uint64)
+    misses = miss_vector_direct_mapped(blocks, indexing)
+    compulsory = int(np.unique(blocks).size) if len(blocks) else 0
+    return CacheStats(
+        accesses=len(blocks), misses=int(misses.sum()), compulsory=compulsory
+    )
+
+
+def simulate_direct_mapped_scalar(
+    blocks: np.ndarray, indexing: IndexingPolicy
+) -> CacheStats:
+    """Reference implementation: one frame per set, sequential replay."""
+    frames: dict[int, int] = {}
+    seen: set[int] = set()
+    misses = 0
+    compulsory = 0
+    for block in np.asarray(blocks, dtype=np.uint64):
+        block = int(block)
+        index = indexing.set_index(block)
+        tag = indexing.tag(block)
+        if frames.get(index) != tag:
+            misses += 1
+            frames[index] = tag
+            if block not in seen:
+                compulsory += 1
+        seen.add(block)
+    return CacheStats(accesses=len(blocks), misses=misses, compulsory=compulsory)

@@ -1,0 +1,115 @@
+"""Cache geometry: sizes, blocks, sets and derived bit widths.
+
+The paper's configurations are direct-mapped caches of 1/4/16 KB with
+4-byte blocks, giving ``m = 8/10/12`` set index bits, and hash functions
+reading ``n = 16`` block-address bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheGeometry", "PAPER_GEOMETRIES", "PAPER_HASHED_BITS"]
+
+
+def _log2_exact(value: int, what: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/shape of a cache.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    block_size:
+        Bytes per cache block (the paper uses 4).
+    associativity:
+        Ways per set; 1 for direct mapped.  Use :meth:`fully_associative`
+        for a single-set LRU cache.
+    """
+
+    size_bytes: int
+    block_size: int = 4
+    associativity: int = 1
+
+    def __post_init__(self):
+        _log2_exact(self.size_bytes, "cache size")
+        _log2_exact(self.block_size, "block size")
+        if self.associativity < 1:
+            raise ValueError(f"associativity must be >= 1, got {self.associativity}")
+        if self.size_bytes % (self.block_size * self.associativity):
+            raise ValueError(
+                f"{self.size_bytes}-byte cache cannot hold an integral number of "
+                f"{self.associativity}-way sets of {self.block_size}-byte blocks"
+            )
+        _log2_exact(self.num_sets, "number of sets")
+
+    @classmethod
+    def direct_mapped(cls, size_bytes: int, block_size: int = 4) -> "CacheGeometry":
+        """The paper's standard configuration."""
+        return cls(size_bytes, block_size, 1)
+
+    @classmethod
+    def fully_associative(cls, size_bytes: int, block_size: int = 4) -> "CacheGeometry":
+        """One set holding every block (Table 3's 'FA' column)."""
+        geometry = cls(size_bytes, block_size, size_bytes // block_size)
+        return geometry
+
+    @property
+    def num_blocks(self) -> int:
+        """Capacity in blocks (the paper's 'cache size' unit for the
+        capacity-miss filter)."""
+        return self.size_bytes // self.block_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_blocks // self.associativity
+
+    @property
+    def index_bits(self) -> int:
+        """``m``: the 2-logarithm of the number of sets."""
+        return self.num_sets.bit_length() - 1
+
+    @property
+    def offset_bits(self) -> int:
+        return self.block_size.bit_length() - 1
+
+    @property
+    def is_direct_mapped(self) -> bool:
+        return self.associativity == 1
+
+    @property
+    def is_fully_associative(self) -> bool:
+        return self.num_sets == 1
+
+    def block_address(self, byte_address: int) -> int:
+        return byte_address >> self.offset_bits
+
+    def __str__(self) -> str:
+        if self.is_fully_associative:
+            org = "fully associative"
+        elif self.is_direct_mapped:
+            org = "direct mapped"
+        else:
+            org = f"{self.associativity}-way"
+        return (
+            f"{self.size_bytes // 1024 if self.size_bytes >= 1024 else self.size_bytes}"
+            f"{'KB' if self.size_bytes >= 1024 else 'B'} {org}, "
+            f"{self.block_size}B blocks, {self.num_sets} sets (m={self.index_bits})"
+        )
+
+
+#: The three cache sizes evaluated throughout the paper (Tables 1 and 2).
+PAPER_GEOMETRIES = {
+    "1KB": CacheGeometry.direct_mapped(1024),
+    "4KB": CacheGeometry.direct_mapped(4096),
+    "16KB": CacheGeometry.direct_mapped(16384),
+}
+
+#: The paper hashes n = 16 block-address bits in every experiment.
+PAPER_HASHED_BITS = 16

@@ -1,0 +1,122 @@
+"""Indexing policies: how a block address is split into set index + tag.
+
+Every policy guarantees the paper's bijectivity requirement (Sec. 4):
+two distinct block addresses always differ in the tag or in the set
+index, so a cache using the policy never aliases two blocks into one
+frame.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.gf2.bitvec import mask
+from repro.gf2.hashfn import XorHashFunction
+
+__all__ = ["IndexingPolicy", "ModuloIndexing", "XorIndexing", "BitSelectIndexing"]
+
+
+class IndexingPolicy(ABC):
+    """Splits block addresses into (set index, tag)."""
+
+    #: Number of set index bits produced.
+    m: int
+
+    @abstractmethod
+    def set_index(self, block: int) -> int:
+        """Set index of one block address."""
+
+    @abstractmethod
+    def tag(self, block: int) -> int:
+        """Tag of one block address."""
+
+    @abstractmethod
+    def set_index_array(self, blocks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`set_index`."""
+
+    @abstractmethod
+    def tag_array(self, blocks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`tag`."""
+
+    def split_array(self, blocks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(set indices, tags) for a block-address array."""
+        return self.set_index_array(blocks), self.tag_array(blocks)
+
+    @property
+    def num_sets(self) -> int:
+        return 1 << self.m
+
+
+class ModuloIndexing(IndexingPolicy):
+    """Conventional indexing: low ``m`` bits are the set, the rest the tag.
+
+    This is the paper's baseline ('base' columns of Tables 2 and 3).
+    """
+
+    def __init__(self, m: int):
+        if m < 0:
+            raise ValueError(f"m must be non-negative, got {m}")
+        self.m = m
+
+    def set_index(self, block: int) -> int:
+        return block & mask(self.m)
+
+    def tag(self, block: int) -> int:
+        return block >> self.m
+
+    def set_index_array(self, blocks: np.ndarray) -> np.ndarray:
+        blocks = np.asarray(blocks, dtype=np.uint64)
+        return np.bitwise_and(blocks, np.uint64(mask(self.m))).astype(np.uint32)
+
+    def tag_array(self, blocks: np.ndarray) -> np.ndarray:
+        blocks = np.asarray(blocks, dtype=np.uint64)
+        return blocks >> np.uint64(self.m)
+
+    def __repr__(self) -> str:
+        return f"ModuloIndexing(m={self.m})"
+
+
+class XorIndexing(IndexingPolicy):
+    """Indexing through an :class:`XorHashFunction`.
+
+    The tag is the function's derived bit-selecting tag (pivot positions
+    of the null space plus all address bits above the hashed window),
+    which together with the index is bijective by construction.
+    """
+
+    def __init__(self, hash_function: XorHashFunction):
+        if not hash_function.is_full_rank:
+            raise ValueError(
+                "cache indexing requires a full-rank hash function "
+                f"(rank {hash_function.rank} < m={hash_function.m})"
+            )
+        self.hash_function = hash_function
+        self.m = hash_function.m
+
+    def set_index(self, block: int) -> int:
+        return self.hash_function.apply(block)
+
+    def tag(self, block: int) -> int:
+        return self.hash_function.tag_of(block)
+
+    def set_index_array(self, blocks: np.ndarray) -> np.ndarray:
+        return self.hash_function.apply_array(np.asarray(blocks, dtype=np.uint64))
+
+    def tag_array(self, blocks: np.ndarray) -> np.ndarray:
+        return self.hash_function.tag_array(np.asarray(blocks, dtype=np.uint64))
+
+    def __repr__(self) -> str:
+        return f"XorIndexing({self.hash_function!r})"
+
+
+class BitSelectIndexing(XorIndexing):
+    """Indexing by selecting arbitrary address bits (fan-in-1 XOR)."""
+
+    def __init__(self, n: int, selected_bits):
+        super().__init__(XorHashFunction.bit_select(n, selected_bits))
+        self.selected_bits = tuple(selected_bits)
+
+    def __repr__(self) -> str:
+        return f"BitSelectIndexing(bits={self.selected_bits})"

@@ -1,0 +1,66 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Result of replaying a trace through a cache model.
+
+    ``compulsory`` counts first-touch misses when the simulator tracks
+    them (all our simulators do); conflict/capacity split requires the
+    profiling machinery and is reported there.
+    """
+
+    accesses: int
+    misses: int
+    compulsory: int = 0
+
+    def __post_init__(self):
+        if not 0 <= self.misses <= self.accesses:
+            raise ValueError(
+                f"misses ({self.misses}) must lie in [0, accesses={self.accesses}]"
+            )
+        if not 0 <= self.compulsory <= self.misses:
+            raise ValueError(
+                f"compulsory ({self.compulsory}) must lie in [0, misses={self.misses}]"
+            )
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def non_compulsory_misses(self) -> int:
+        """Misses that an indexing change could potentially remove."""
+        return self.misses - self.compulsory
+
+    def misses_per_kuop(self, uops: int) -> float:
+        """The paper's misses/K-uop metric (Table 2 'base' columns)."""
+        if uops <= 0:
+            raise ValueError(f"uops must be positive, got {uops}")
+        return 1000.0 * self.misses / uops
+
+    def removed_fraction(self, baseline: "CacheStats") -> float:
+        """Percentage of misses removed relative to ``baseline``.
+
+        Negative values mean the hash function *added* misses, which the
+        paper notes can happen due to the heuristic (Sec. 6).
+        """
+        if baseline.misses == 0:
+            return 0.0
+        return 100.0 * (baseline.misses - self.misses) / baseline.misses
+
+    def __str__(self) -> str:
+        return (
+            f"{self.misses}/{self.accesses} misses "
+            f"({100 * self.miss_rate:.2f}%, {self.compulsory} compulsory)"
+        )

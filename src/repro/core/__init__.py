@@ -1,0 +1,18 @@
+"""The paper's primary contribution: profile-driven index optimization."""
+
+from repro.core.evaluate import (
+    baseline_stats,
+    compare_indexings,
+    evaluate_hash_function,
+    evaluate_indexing,
+)
+from repro.core.optimizer import OptimizationResult, optimize_for_trace
+
+__all__ = [
+    "OptimizationResult",
+    "optimize_for_trace",
+    "evaluate_indexing",
+    "evaluate_hash_function",
+    "baseline_stats",
+    "compare_indexings",
+]

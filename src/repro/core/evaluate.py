@@ -1,0 +1,57 @@
+"""Exact evaluation of index functions on traces."""
+
+from __future__ import annotations
+
+from repro.cache.direct_mapped import simulate_direct_mapped
+from repro.cache.geometry import CacheGeometry
+from repro.cache.indexing import IndexingPolicy, ModuloIndexing, XorIndexing
+from repro.cache.set_assoc import simulate_set_associative
+from repro.cache.stats import CacheStats
+from repro.gf2.hashfn import XorHashFunction
+from repro.trace.trace import Trace
+
+__all__ = ["evaluate_indexing", "evaluate_hash_function", "baseline_stats", "compare_indexings"]
+
+
+def evaluate_indexing(
+    trace: Trace, geometry: CacheGeometry, indexing: IndexingPolicy
+) -> CacheStats:
+    """Exact miss count of a trace through a cache with this indexing."""
+    if indexing.num_sets != geometry.num_sets:
+        raise ValueError(
+            f"indexing produces {indexing.num_sets} sets, geometry has "
+            f"{geometry.num_sets}"
+        )
+    blocks = trace.block_addresses(geometry.block_size)
+    if geometry.is_direct_mapped:
+        return simulate_direct_mapped(blocks, indexing)
+    return simulate_set_associative(blocks, geometry, indexing)
+
+
+def evaluate_hash_function(
+    trace: Trace, geometry: CacheGeometry, fn: XorHashFunction
+) -> CacheStats:
+    """Exact miss count with an XOR hash function as the set index."""
+    if fn.m != geometry.index_bits:
+        raise ValueError(
+            f"hash function produces {fn.m} index bits, geometry needs "
+            f"{geometry.index_bits}"
+        )
+    return evaluate_indexing(trace, geometry, XorIndexing(fn))
+
+
+def baseline_stats(trace: Trace, geometry: CacheGeometry) -> CacheStats:
+    """Miss count under conventional modulo indexing (the paper's base)."""
+    return evaluate_indexing(trace, geometry, ModuloIndexing(geometry.index_bits))
+
+
+def compare_indexings(
+    trace: Trace,
+    geometry: CacheGeometry,
+    indexings: dict[str, IndexingPolicy],
+) -> dict[str, CacheStats]:
+    """Evaluate several indexing policies on the same trace."""
+    return {
+        name: evaluate_indexing(trace, geometry, indexing)
+        for name, indexing in indexings.items()
+    }

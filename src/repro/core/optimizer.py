@@ -1,0 +1,132 @@
+"""End-to-end application-specific index optimization.
+
+This is the paper's headline flow: profile the application's memory
+trace once (Fig. 1), hill-climb the chosen function family on the
+Eq. 4 estimate (Sec. 3.2), then verify the winner by exact simulation
+and report the fraction of misses removed versus conventional modulo
+indexing (the quantity in Tables 2 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.geometry import CacheGeometry, PAPER_HASHED_BITS
+from repro.cache.stats import CacheStats
+from repro.core.evaluate import baseline_stats, evaluate_hash_function
+from repro.gf2.hashfn import XorHashFunction
+from repro.profiling.conflict_profile import ConflictProfile, profile_trace
+from repro.search.families import FunctionFamily, family_for_name
+from repro.search.hill_climb import SearchResult, hill_climb_restarts
+from repro.trace.trace import Trace
+
+__all__ = ["OptimizationResult", "optimize_for_trace"]
+
+
+@dataclass
+class OptimizationResult:
+    """Everything produced by one optimization run."""
+
+    trace_name: str
+    geometry: CacheGeometry
+    family_name: str
+    hash_function: XorHashFunction
+    baseline: CacheStats
+    optimized: CacheStats
+    search: SearchResult
+    profile: ConflictProfile
+    reverted: bool = False
+
+    @property
+    def removed_percent(self) -> float:
+        """Exact % of misses removed (negative = misses added).
+
+        This is the number Tables 2 and 3 report per benchmark.
+        """
+        return self.optimized.removed_fraction(self.baseline)
+
+    def base_misses_per_kuop(self, uops: int) -> float:
+        """Baseline misses/K-uop (Table 2's 'base' columns)."""
+        return self.baseline.misses_per_kuop(uops)
+
+    def summary(self) -> str:
+        return (
+            f"{self.trace_name} @ {self.geometry}: "
+            f"{self.family_name} removes {self.removed_percent:.1f}% of misses "
+            f"({self.baseline.misses} -> {self.optimized.misses})"
+            + (" [reverted to modulo]" if self.reverted else "")
+        )
+
+
+def optimize_for_trace(
+    trace: Trace,
+    geometry: CacheGeometry,
+    family: str | FunctionFamily = "2-in",
+    n: int = PAPER_HASHED_BITS,
+    guard: bool = False,
+    restarts: int = 0,
+    seed: int = 0,
+    max_steps: int | None = None,
+    profile: ConflictProfile | None = None,
+) -> OptimizationResult:
+    """Construct and verify an application-specific index function.
+
+    Parameters
+    ----------
+    trace:
+        The application's memory-access trace.
+    geometry:
+        Target cache (must be direct mapped or set associative; the
+        paper evaluates direct-mapped caches).
+    family:
+        Function family: ``"1-in"``/``"2-in"``/``"4-in"``/``"16-in"``
+        (permutation-based, as in Table 2), ``"general"``, or a
+        :class:`~repro.search.families.FunctionFamily` instance.
+    n:
+        Number of hashed block-address bits (paper: 16).
+    guard:
+        Apply the paper's Sec. 6 safeguard: if the optimized function
+        *adds* misses, revert to conventional indexing.
+    restarts:
+        Extra random hill-climb starts (0 = the paper's single start).
+    profile:
+        Reuse a precomputed conflict profile (it only depends on the
+        trace and the cache capacity, not on the family searched).
+    """
+    m = geometry.index_bits
+    if m > n:
+        raise ValueError(f"geometry needs m={m} index bits but only n={n} are hashed")
+    if isinstance(family, str):
+        family = family_for_name(family, n, m)
+    if family.n != n or family.m != m:
+        raise ValueError(
+            f"family is sized for (n={family.n}, m={family.m}), "
+            f"expected (n={n}, m={m})"
+        )
+
+    if profile is None:
+        profile = profile_trace(trace, geometry, n)
+    search = hill_climb_restarts(
+        profile, family, restarts=restarts, seed=seed, max_steps=max_steps
+    )
+    baseline = baseline_stats(trace, geometry)
+    optimized = evaluate_hash_function(trace, geometry, search.function)
+
+    chosen = search.function
+    reverted = False
+    if guard and optimized.misses > baseline.misses:
+        chosen = XorHashFunction.modulo(n, m)
+        optimized = baseline
+        reverted = True
+
+    return OptimizationResult(
+        trace_name=trace.name,
+        geometry=geometry,
+        family_name=family.name,
+        hash_function=chosen,
+        baseline=baseline,
+        optimized=optimized,
+        search=search,
+        profile=profile,
+        reverted=reverted,
+    )

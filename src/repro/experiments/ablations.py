@@ -1,0 +1,268 @@
+"""Ablations of the paper's design choices.
+
+The paper motivates several decisions qualitatively; these drivers
+measure them:
+
+* **estimator fidelity** — how well the Eq. 4 estimate tracks exact
+  simulation across candidate functions (Sec. 3.3 admits the profile
+  cannot be exact for all functions simultaneously);
+* **capacity filter** — what happens when capacity misses are *not*
+  filtered out of the profile (the optimizer chases unfixable misses);
+* **restarts** — how much the single-start local optimum costs;
+* **search timing** — the paper claims 0.5-10 s per construction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.cache.geometry import CacheGeometry, PAPER_HASHED_BITS
+from repro.core.evaluate import baseline_stats, evaluate_hash_function
+from repro.profiling.conflict_profile import profile_blocks, profile_trace
+from repro.profiling.estimator import MissEstimator
+from repro.search.families import PermutationFamily, family_for_name
+from repro.search.hill_climb import hill_climb, hill_climb_restarts
+from repro.trace.trace import Trace
+
+__all__ = [
+    "EstimatorFidelity",
+    "estimator_fidelity",
+    "CapacityFilterAblation",
+    "capacity_filter_ablation",
+    "RestartsAblation",
+    "restarts_ablation",
+    "SearchTiming",
+    "search_timing",
+    "OptimalityGap",
+    "optimality_gap",
+]
+
+
+@dataclass(frozen=True)
+class EstimatorFidelity:
+    """Rank agreement between Eq. 4 estimates and exact miss counts."""
+
+    sampled_functions: int
+    spearman_rho: float
+    estimated: list[int]
+    exact: list[int]
+
+    @property
+    def ranks_well(self) -> bool:
+        """The estimate only needs to *rank* candidates correctly."""
+        return self.spearman_rho > 0.5
+
+
+def estimator_fidelity(
+    trace: Trace,
+    geometry: CacheGeometry,
+    samples: int = 40,
+    seed: int = 0,
+    n: int = PAPER_HASHED_BITS,
+) -> EstimatorFidelity:
+    """Sample random permutation functions; compare estimate vs exact."""
+    m = geometry.index_bits
+    profile = profile_trace(trace, geometry, n)
+    estimator = MissEstimator(profile)
+    blocks = trace.block_addresses(geometry.block_size)
+    rng = np.random.default_rng(seed)
+    family = PermutationFamily(n, m)
+    estimated: list[int] = []
+    exact: list[int] = []
+    seen = set()
+    while len(estimated) < samples:
+        fn = family.random_member(rng)
+        key = fn.canonical_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        estimated.append(estimator.cost(fn.columns))
+        from repro.cache.direct_mapped import simulate_direct_mapped
+        from repro.cache.indexing import XorIndexing
+
+        exact.append(simulate_direct_mapped(blocks, XorIndexing(fn)).misses)
+    if len(set(estimated)) <= 1 or len(set(exact)) <= 1:
+        rho = 1.0 if len(set(exact)) <= 1 else 0.0
+    else:
+        rho = float(stats.spearmanr(estimated, exact).statistic)
+    return EstimatorFidelity(
+        sampled_functions=samples,
+        spearman_rho=rho,
+        estimated=estimated,
+        exact=exact,
+    )
+
+
+@dataclass(frozen=True)
+class CapacityFilterAblation:
+    """Exact misses of functions optimized with vs without the filter."""
+
+    baseline_misses: int
+    with_filter_misses: int
+    without_filter_misses: int
+
+    @property
+    def filter_helps(self) -> bool:
+        return self.with_filter_misses <= self.without_filter_misses
+
+
+def capacity_filter_ablation(
+    trace: Trace,
+    geometry: CacheGeometry,
+    family: str = "2-in",
+    n: int = PAPER_HASHED_BITS,
+) -> CapacityFilterAblation:
+    """Re-run the optimization with the capacity filter disabled.
+
+    Disabling means profiling with effectively infinite capacity, so
+    capacity misses contribute conflict vectors they cannot cash in.
+    """
+    m = geometry.index_bits
+    blocks = trace.block_addresses(geometry.block_size)
+    fam = family_for_name(family, n, m)
+
+    filtered = profile_blocks(blocks, geometry.num_blocks, n)
+    unfiltered = profile_blocks(blocks, len(blocks) + 1, n)
+
+    with_filter = hill_climb(filtered, fam).function
+    without_filter = hill_climb(unfiltered, fam).function
+
+    return CapacityFilterAblation(
+        baseline_misses=baseline_stats(trace, geometry).misses,
+        with_filter_misses=evaluate_hash_function(trace, geometry, with_filter).misses,
+        without_filter_misses=evaluate_hash_function(
+            trace, geometry, without_filter
+        ).misses,
+    )
+
+
+@dataclass(frozen=True)
+class RestartsAblation:
+    single_start_estimate: int
+    restarts_estimate: int
+    restarts: int
+
+    @property
+    def improvement_percent(self) -> float:
+        if self.single_start_estimate == 0:
+            return 0.0
+        return 100.0 * (
+            self.single_start_estimate - self.restarts_estimate
+        ) / self.single_start_estimate
+
+
+def restarts_ablation(
+    trace: Trace,
+    geometry: CacheGeometry,
+    family: str = "2-in",
+    restarts: int = 8,
+    n: int = PAPER_HASHED_BITS,
+    seed: int = 0,
+) -> RestartsAblation:
+    """Single-start hill climbing vs multi-start (our extension)."""
+    m = geometry.index_bits
+    fam = family_for_name(family, n, m)
+    profile = profile_trace(trace, geometry, n)
+    single = hill_climb(profile, fam)
+    multi = hill_climb_restarts(profile, fam, restarts=restarts, seed=seed)
+    return RestartsAblation(
+        single_start_estimate=single.estimated_misses,
+        restarts_estimate=multi.estimated_misses,
+        restarts=restarts,
+    )
+
+
+@dataclass(frozen=True)
+class OptimalityGap:
+    """Hill-climb local optimum vs the exhaustive global optimum.
+
+    Quantifies the paper's Sec. 6.1 'room for improvement' on a hashed
+    window small enough for :func:`repro.search.optimal_xor_function`.
+    """
+
+    n: int
+    m: int
+    start_estimate: int
+    hill_climb_estimate: int
+    optimal_estimate: int
+    spaces_evaluated: int
+
+    @property
+    def gap_percent(self) -> float:
+        """Extra conflict weight the local optimum leaves on the table,
+        as a percentage of what the global optimum removes."""
+        removable = self.start_estimate - self.optimal_estimate
+        if removable <= 0:
+            return 0.0
+        return 100.0 * (self.hill_climb_estimate - self.optimal_estimate) / removable
+
+    @property
+    def hill_climb_is_optimal(self) -> bool:
+        return self.hill_climb_estimate == self.optimal_estimate
+
+
+def optimality_gap(
+    blocks,
+    capacity_blocks: int,
+    n: int = 8,
+    m: int = 4,
+) -> OptimalityGap:
+    """Measure the hill climber against the global optimum.
+
+    The trace is profiled with a reduced hashed window (default n=8) so
+    that every null space can be enumerated.
+    """
+    from repro.search.optimal_xor import optimal_xor_function
+
+    profile = profile_blocks(np.asarray(blocks, dtype=np.uint64), capacity_blocks, n)
+    family = family_for_name("general", n, m)
+    climbed = hill_climb(profile, family)
+    optimal = optimal_xor_function(profile, m)
+    return OptimalityGap(
+        n=n,
+        m=m,
+        start_estimate=climbed.start_misses,
+        hill_climb_estimate=climbed.estimated_misses,
+        optimal_estimate=optimal.estimated_misses,
+        spaces_evaluated=optimal.spaces_evaluated,
+    )
+
+
+@dataclass(frozen=True)
+class SearchTiming:
+    family: str
+    cache_bytes: int
+    seconds: float
+    steps: int
+    evaluations: int
+
+
+def search_timing(
+    trace: Trace,
+    cache_sizes: tuple[int, ...] = (1024, 4096, 16384),
+    families: tuple[str, ...] = ("1-in", "2-in", "4-in", "16-in", "general"),
+    n: int = PAPER_HASHED_BITS,
+) -> list[SearchTiming]:
+    """Wall-clock time of hash construction (paper Sec. 3.2: 0.5-10 s)."""
+    timings = []
+    for size in cache_sizes:
+        geometry = CacheGeometry.direct_mapped(size)
+        profile = profile_trace(trace, geometry, n)
+        for family in families:
+            fam = family_for_name(family, n, geometry.index_bits)
+            t0 = time.perf_counter()
+            result = hill_climb(profile, fam)
+            timings.append(
+                SearchTiming(
+                    family=fam.name,
+                    cache_bytes=size,
+                    seconds=time.perf_counter() - t0,
+                    steps=result.steps,
+                    evaluations=result.evaluations,
+                )
+            )
+    return timings

@@ -1,0 +1,57 @@
+"""Paper Sec. 2 design-space counts (Eq. 3).
+
+"There are 3.4e38 distinct matrices, hashing 16 address bits to 8 set
+index bits but only 6.3e19 distinct null spaces."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import format_table
+from repro.gf2.counting import num_distinct_null_spaces, num_full_rank_matrices
+
+__all__ = ["CountingResult", "run_counting", "format_counting"]
+
+
+@dataclass(frozen=True)
+class CountingResult:
+    n: int
+    m: int
+    full_rank_matrices: int
+    distinct_null_spaces: int
+
+    @property
+    def redundancy_factor(self) -> float:
+        """Matrices per distinct behaviour — the search-space shrinkage."""
+        return self.full_rank_matrices / self.distinct_null_spaces
+
+
+def run_counting(configs: tuple[tuple[int, int], ...] = ((16, 8), (16, 10), (16, 12))) -> list[CountingResult]:
+    return [
+        CountingResult(
+            n=n,
+            m=m,
+            full_rank_matrices=num_full_rank_matrices(n, m),
+            distinct_null_spaces=num_distinct_null_spaces(n, m),
+        )
+        for n, m in configs
+    ]
+
+
+def format_counting(results: list[CountingResult] | None = None) -> str:
+    results = results if results is not None else run_counting()
+    rows = [
+        [
+            f"{r.n}->{r.m}",
+            f"{r.full_rank_matrices:.3e}",
+            f"{r.distinct_null_spaces:.3e}",
+            f"{r.redundancy_factor:.3e}",
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["hash", "full-rank matrices", "distinct null spaces", "redundancy"],
+        rows,
+        title="Sec. 2: design-space sizes (Eq. 3)",
+    )

@@ -1,0 +1,84 @@
+"""Paper Table 1: switches required for reconfigurable indexing.
+
+Exactly reproducible: the counts are analytic (n = 16, 4-byte blocks,
+1/4/16 KB caches giving m = 8/10/12).  The driver reports both the
+closed forms and the switch counts of actually-constructed networks,
+which must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import format_table
+from repro.hardware.network import build_network
+from repro.hardware.switches import switch_counts
+
+__all__ = ["PAPER_TABLE1", "run_table1", "format_table1", "Table1Cell"]
+
+#: The published numbers (scheme -> cache label -> switches).
+PAPER_TABLE1 = {
+    "bit-select": {"1KB": 256, "4KB": 256, "16KB": 256},
+    "optimized bit-select": {"1KB": 144, "4KB": 136, "16KB": 112},
+    "general XOR": {"1KB": 252, "4KB": 261, "16KB": 250},
+    "permutation-based": {"1KB": 72, "4KB": 70, "16KB": 60},
+}
+
+_CONFIGS = {"1KB": 8, "4KB": 10, "16KB": 12}
+_HASHED_BITS = 16
+
+
+@dataclass(frozen=True)
+class Table1Cell:
+    scheme: str
+    cache: str
+    m: int
+    closed_form: int
+    constructed: int
+    paper: int
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.closed_form == self.paper and self.constructed == self.paper
+
+
+def run_table1() -> list[Table1Cell]:
+    """Recompute every cell of Table 1."""
+    cells = []
+    for cache, m in _CONFIGS.items():
+        forms = switch_counts(_HASHED_BITS, m)
+        for scheme, count in forms.items():
+            network = build_network(scheme, _HASHED_BITS, m)
+            cells.append(
+                Table1Cell(
+                    scheme=scheme,
+                    cache=cache,
+                    m=m,
+                    closed_form=count,
+                    constructed=network.switch_count,
+                    paper=PAPER_TABLE1[scheme][cache],
+                )
+            )
+    return cells
+
+
+def format_table1(cells: list[Table1Cell] | None = None) -> str:
+    """Render in the paper's layout (rows = schemes, columns = sizes)."""
+    cells = cells if cells is not None else run_table1()
+    by_scheme: dict[str, dict[str, Table1Cell]] = {}
+    for cell in cells:
+        by_scheme.setdefault(cell.scheme, {})[cell.cache] = cell
+    rows = []
+    for scheme, per_cache in by_scheme.items():
+        row = [scheme]
+        for cache in _CONFIGS:
+            cell = per_cache[cache]
+            mark = "" if cell.matches_paper else " (!)"
+            row.append(f"{cell.closed_form}{mark}")
+        rows.append(row)
+    header = ["scheme"] + [
+        f"{cache} (m={m})" for cache, m in _CONFIGS.items()
+    ]
+    return format_table(
+        header, rows, title="Table 1: switches for reconfigurable indexing (n=16)"
+    )

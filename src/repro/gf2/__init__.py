@@ -1,0 +1,59 @@
+"""GF(2) linear algebra substrate for XOR-indexing.
+
+Exports the bit-vector helpers, dense matrices, canonical subspaces,
+design-space counting formulas and the central
+:class:`~repro.gf2.hashfn.XorHashFunction` class.
+"""
+
+from repro.gf2.bitvec import (
+    bits_of,
+    dot,
+    from_bits,
+    mask,
+    parity,
+    parity_table,
+    popcount,
+)
+from repro.gf2.counting import (
+    gaussian_binomial,
+    num_distinct_null_spaces,
+    num_full_rank_matrices,
+    num_matrices,
+    num_subspaces_total,
+)
+from repro.gf2.hashfn import XorHashFunction
+from repro.gf2.matrix import GF2Matrix
+from repro.gf2.polynomial import (
+    irreducible_polynomials,
+    is_irreducible,
+    poly_degree,
+    poly_mod,
+    poly_mul,
+    polynomial_hash_function,
+)
+from repro.gf2.spaces import Subspace, all_subspace_bases
+
+__all__ = [
+    "bits_of",
+    "dot",
+    "from_bits",
+    "mask",
+    "parity",
+    "parity_table",
+    "popcount",
+    "gaussian_binomial",
+    "num_distinct_null_spaces",
+    "num_full_rank_matrices",
+    "num_matrices",
+    "num_subspaces_total",
+    "GF2Matrix",
+    "Subspace",
+    "all_subspace_bases",
+    "XorHashFunction",
+    "poly_degree",
+    "poly_mul",
+    "poly_mod",
+    "is_irreducible",
+    "irreducible_polynomials",
+    "polynomial_hash_function",
+]

@@ -1,0 +1,95 @@
+"""Bit-vector helpers for GF(2) arithmetic on machine integers.
+
+Throughout the package a GF(2) vector of length ``n`` is stored as a
+Python ``int`` (or a numpy integer array) whose bit ``i`` holds
+coordinate ``i``.  Bit 0 is the least significant address bit, matching
+the paper's convention ``a = a_{n-1} ... a_1 a_0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "parity",
+    "popcount",
+    "mask",
+    "bits_of",
+    "from_bits",
+    "parity_table",
+    "dot",
+    "weight_at_most",
+]
+
+_PARITY_TABLE_BITS = 16
+
+
+def popcount(x: int) -> int:
+    """Number of one bits in the non-negative integer ``x``."""
+    if x < 0:
+        raise ValueError(f"popcount requires a non-negative integer, got {x}")
+    return x.bit_count()
+
+
+def parity(x: int) -> int:
+    """Parity (XOR of all bits) of the non-negative integer ``x``."""
+    return popcount(x) & 1
+
+
+def dot(x: int, y: int) -> int:
+    """GF(2) inner product of two bit vectors: ``parity(x & y)``."""
+    return parity(x & y)
+
+
+def mask(n: int) -> int:
+    """Bit mask with the ``n`` least significant bits set."""
+    if n < 0:
+        raise ValueError(f"mask width must be non-negative, got {n}")
+    return (1 << n) - 1
+
+
+def bits_of(x: int, n: int) -> list[int]:
+    """Bits of ``x`` as a list ``[bit_0, bit_1, ..., bit_{n-1}]``."""
+    return [(x >> i) & 1 for i in range(n)]
+
+
+def from_bits(bits) -> int:
+    """Inverse of :func:`bits_of`: pack ``[bit_0, bit_1, ...]`` into an int."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit {i} is {bit!r}, expected 0 or 1")
+        value |= bit << i
+    return value
+
+
+def weight_at_most(x: int, k: int) -> bool:
+    """True when ``x`` has at most ``k`` one bits."""
+    return popcount(x) <= k
+
+
+_parity16: np.ndarray | None = None
+
+
+def parity_table() -> np.ndarray:
+    """Lookup table ``t`` with ``t[v] = parity(v)`` for 16-bit values.
+
+    Used to vectorize GF(2) inner products over numpy arrays: the parity
+    of ``v & h`` for a column mask ``h`` that fits in 16 bits is
+    ``parity_table()[v & h]``.
+    """
+    global _parity16
+    if _parity16 is None:
+        values = np.arange(1 << _PARITY_TABLE_BITS, dtype=np.uint16)
+        _parity16 = (np.bitwise_count(values) & 1).astype(np.uint8)
+    return _parity16
+
+
+def parity_u64(values: np.ndarray, column_mask: int) -> np.ndarray:
+    """Vectorized ``parity(values & column_mask)`` for a numpy array.
+
+    Works for masks of any width up to 64 bits via ``np.bitwise_count``.
+    Returns a ``uint8`` array of 0/1 parities.
+    """
+    masked = np.bitwise_and(values.astype(np.uint64), np.uint64(column_mask))
+    return (np.bitwise_count(masked) & 1).astype(np.uint8)

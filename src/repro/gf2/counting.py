@@ -1,0 +1,85 @@
+"""Counting formulas for the hash-function design space (paper Sec. 2).
+
+The paper quantifies the design space of ``n``-to-``m`` XOR hash
+functions: there are ~3.4e38 distinct full-rank matrices for
+``n=16, m=8`` but only ~6.3e19 distinct null spaces (Eq. 3), which is
+why the search runs over null spaces.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "gaussian_binomial",
+    "num_distinct_null_spaces",
+    "num_full_rank_matrices",
+    "num_matrices",
+    "num_subspaces_total",
+]
+
+
+def gaussian_binomial(n: int, k: int, q: int = 2) -> int:
+    """Gaussian binomial coefficient ``[n choose k]_q``.
+
+    Counts the ``k``-dimensional subspaces of an ``n``-dimensional vector
+    space over GF(q).  Exact integer arithmetic.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if k < 0 or k > n:
+        return 0
+    numerator = 1
+    denominator = 1
+    for i in range(k):
+        numerator *= q ** (n - i) - 1
+        denominator *= q ** (i + 1) - 1
+    assert numerator % denominator == 0
+    return numerator // denominator
+
+
+def num_distinct_null_spaces(n: int, m: int) -> int:
+    """Paper Eq. 3: the number of distinct ``n``-to-``m`` hash functions
+    counted up to null space.
+
+    ``N(n, m) = prod_{i=1..m} (2^{n-i+1} - 1) / (2^i - 1)``, which equals
+    the Gaussian binomial ``[n choose m]_2``: a full-rank function is
+    determined, up to behaviour, by its ``(n-m)``-dimensional null space,
+    and subspace counts are symmetric (``[n,m]_2 = [n,n-m]_2``).
+    """
+    if not 0 <= m <= n:
+        raise ValueError(f"need 0 <= m <= n, got n={n}, m={m}")
+    result = gaussian_binomial(n, m)
+    # Cross-check against the literal product of Eq. 3.
+    numerator = 1
+    denominator = 1
+    for i in range(1, m + 1):
+        numerator *= (1 << (n - i + 1)) - 1
+        denominator *= (1 << i) - 1
+    assert numerator // denominator == result
+    return result
+
+
+def num_full_rank_matrices(n: int, m: int) -> int:
+    """Number of rank-``m`` binary ``n x m`` matrices.
+
+    This is the paper's "3.4e38 distinct matrices" for ``n=16, m=8``:
+    ``prod_{i=0..m-1} (2^n - 2^i)`` (choose linearly independent columns
+    one at a time).
+    """
+    if not 0 <= m <= n:
+        raise ValueError(f"need 0 <= m <= n, got n={n}, m={m}")
+    count = 1
+    for i in range(m):
+        count *= (1 << n) - (1 << i)
+    return count
+
+
+def num_matrices(n: int, m: int) -> int:
+    """Total number of binary ``n x m`` matrices (``2**(n*m)``)."""
+    if n < 0 or m < 0:
+        raise ValueError(f"dimensions must be non-negative, got n={n}, m={m}")
+    return 1 << (n * m)
+
+
+def num_subspaces_total(n: int) -> int:
+    """Total number of subspaces of GF(2)^n over all dimensions."""
+    return sum(gaussian_binomial(n, k) for k in range(n + 1))

@@ -1,0 +1,298 @@
+"""Dense GF(2) matrices stored as rows of machine integers.
+
+A :class:`GF2Matrix` with ``nrows`` rows and ``ncols`` columns stores row
+``r`` as a Python int whose bit ``c`` is the entry ``(r, c)``.  Row
+operations are therefore single integer XORs, which keeps Gaussian
+elimination fast for the matrix sizes used in this package (n <= 64).
+
+The paper represents a hash function as an ``n x m`` matrix ``H`` whose
+entry ``(r, c)`` says whether address bit ``r`` feeds the XOR gate of set
+index bit ``c`` (``s = a H`` over GF(2)).  :class:`repro.gf2.hashfn.
+XorHashFunction` stores the transpose of ``H`` (column masks); this
+module provides the generic linear algebra both representations rely on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.gf2.bitvec import dot, from_bits, mask
+
+__all__ = ["GF2Matrix"]
+
+
+class GF2Matrix:
+    """An immutable matrix over GF(2).
+
+    Parameters
+    ----------
+    rows:
+        Iterable of non-negative integers, one per matrix row; bit ``c``
+        of ``rows[r]`` is entry ``(r, c)``.
+    ncols:
+        Number of columns.  Every row must fit in ``ncols`` bits.
+    """
+
+    __slots__ = ("_rows", "_ncols")
+
+    def __init__(self, rows: Iterable[int], ncols: int):
+        rows = tuple(int(r) for r in rows)
+        if ncols < 0:
+            raise ValueError(f"ncols must be non-negative, got {ncols}")
+        limit = 1 << ncols
+        for i, row in enumerate(rows):
+            if row < 0 or row >= limit:
+                raise ValueError(
+                    f"row {i} value {row:#x} does not fit in {ncols} columns"
+                )
+        self._rows = rows
+        self._ncols = ncols
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, nrows: int, ncols: int) -> "GF2Matrix":
+        """The ``nrows x ncols`` zero matrix."""
+        return cls([0] * nrows, ncols)
+
+    @classmethod
+    def identity(cls, n: int) -> "GF2Matrix":
+        """The ``n x n`` identity matrix."""
+        return cls([1 << i for i in range(n)], n)
+
+    @classmethod
+    def from_bit_rows(cls, bit_rows: Sequence[Sequence[int]]) -> "GF2Matrix":
+        """Build from a list of rows, each a list of 0/1 entries.
+
+        ``bit_rows[r][c]`` is entry ``(r, c)``.
+        """
+        if not bit_rows:
+            return cls([], 0)
+        ncols = len(bit_rows[0])
+        for r, row in enumerate(bit_rows):
+            if len(row) != ncols:
+                raise ValueError(f"row {r} has {len(row)} entries, expected {ncols}")
+        return cls([from_bits(row) for row in bit_rows], ncols)
+
+    @classmethod
+    def random(cls, nrows: int, ncols: int, rng) -> "GF2Matrix":
+        """Uniformly random matrix drawn from ``rng`` (``numpy.random.Generator``
+        or ``random.Random``)."""
+        limit = 1 << ncols
+        if hasattr(rng, "integers"):  # numpy Generator
+            rows = [int(rng.integers(0, limit)) for _ in range(nrows)]
+        else:
+            rows = [rng.randrange(limit) for _ in range(nrows)]
+        return cls(rows, ncols)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def ncols(self) -> int:
+        return self._ncols
+
+    @property
+    def rows(self) -> tuple[int, ...]:
+        """Rows as integers (bit ``c`` of row ``r`` = entry ``(r, c)``)."""
+        return self._rows
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self._ncols)
+
+    def entry(self, r: int, c: int) -> int:
+        """Entry ``(r, c)`` as 0 or 1."""
+        if not (0 <= r < self.nrows and 0 <= c < self._ncols):
+            raise IndexError(f"entry ({r}, {c}) out of range for shape {self.shape}")
+        return (self._rows[r] >> c) & 1
+
+    def to_bit_rows(self) -> list[list[int]]:
+        """Rows as lists of 0/1 entries (inverse of :meth:`from_bit_rows`)."""
+        return [[(row >> c) & 1 for c in range(self._ncols)] for row in self._rows]
+
+    def column(self, c: int) -> int:
+        """Column ``c`` packed as an integer (bit ``r`` = entry ``(r, c)``)."""
+        if not 0 <= c < self._ncols:
+            raise IndexError(f"column {c} out of range for {self._ncols} columns")
+        value = 0
+        for r, row in enumerate(self._rows):
+            value |= ((row >> c) & 1) << r
+        return value
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def vecmat(self, x: int) -> int:
+        """Row-vector times matrix: ``x @ self`` over GF(2).
+
+        ``x`` is a bit vector of length ``nrows``; the result has length
+        ``ncols``.  This is the paper's ``s = a H`` when ``self`` is the
+        hash matrix ``H``.
+        """
+        if x < 0 or x >= (1 << self.nrows):
+            raise ValueError(f"vector {x:#x} does not fit in {self.nrows} bits")
+        acc = 0
+        rows = self._rows
+        while x:
+            low = x & -x
+            acc ^= rows[low.bit_length() - 1]
+            x ^= low
+        return acc
+
+    def matvec(self, y: int) -> int:
+        """Matrix times column-vector: ``self @ y^T`` over GF(2).
+
+        ``y`` is a bit vector of length ``ncols``; the result has length
+        ``nrows`` (bit ``r`` = parity of ``rows[r] & y``).
+        """
+        if y < 0 or y >= (1 << self._ncols):
+            raise ValueError(f"vector {y:#x} does not fit in {self._ncols} bits")
+        acc = 0
+        for r, row in enumerate(self._rows):
+            acc |= dot(row, y) << r
+        return acc
+
+    def __matmul__(self, other: "GF2Matrix") -> "GF2Matrix":
+        if self._ncols != other.nrows:
+            raise ValueError(
+                f"cannot multiply {self.shape} by {other.shape}: inner dims differ"
+            )
+        return GF2Matrix([other.vecmat(row) for row in self._rows], other.ncols)
+
+    def __add__(self, other: "GF2Matrix") -> "GF2Matrix":
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        return GF2Matrix(
+            [a ^ b for a, b in zip(self._rows, other.rows)], self._ncols
+        )
+
+    def transpose(self) -> "GF2Matrix":
+        return GF2Matrix(
+            [self.column(c) for c in range(self._ncols)], self.nrows
+        )
+
+    # ------------------------------------------------------------------
+    # Elimination
+    # ------------------------------------------------------------------
+
+    def rref(self) -> tuple["GF2Matrix", tuple[int, ...]]:
+        """Reduced row-echelon form and the pivot column indices.
+
+        Pivot columns are scanned from the most significant column down,
+        so the canonical form of a row space does not depend on row
+        order.  Zero rows are kept (the shape is preserved).
+        """
+        rows = list(self._rows)
+        pivots: list[int] = []
+        rank = 0
+        for c in reversed(range(self._ncols)):
+            bit = 1 << c
+            pivot_row = None
+            for r in range(rank, len(rows)):
+                if rows[r] & bit:
+                    pivot_row = r
+                    break
+            if pivot_row is None:
+                continue
+            rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+            for r in range(len(rows)):
+                if r != rank and rows[r] & bit:
+                    rows[r] ^= rows[rank]
+            pivots.append(c)
+            rank += 1
+        return GF2Matrix(rows, self._ncols), tuple(pivots)
+
+    def rank(self) -> int:
+        """Rank over GF(2)."""
+        __, pivots = self.rref()
+        return len(pivots)
+
+    def kernel(self) -> list[int]:
+        """Basis of the right null space ``{ y : self @ y^T = 0 }``.
+
+        Returned vectors have length ``ncols``.  Applied to the
+        transpose of a hash matrix ``H`` (i.e. a matrix whose rows are
+        the column masks of ``H``), this is exactly the paper's null
+        space ``N(H) = { x : x H = 0 }`` of Eq. (1).
+        """
+        reduced, pivots = self.rref()
+        pivot_set = set(pivots)
+        free_cols = [c for c in range(self._ncols) if c not in pivot_set]
+        basis: list[int] = []
+        for free in free_cols:
+            vec = 1 << free
+            for r, pivot_col in enumerate(pivots):
+                if (reduced.rows[r] >> free) & 1:
+                    vec |= 1 << pivot_col
+            basis.append(vec)
+        return basis
+
+    def inverse(self) -> "GF2Matrix":
+        """Inverse of a square invertible matrix.
+
+        Raises ``ValueError`` when the matrix is singular or not square.
+        """
+        n = self.nrows
+        if n != self._ncols:
+            raise ValueError(f"inverse requires a square matrix, got {self.shape}")
+        # Augment [self | I] and reduce the left half to the identity.
+        aug = [row | (1 << (n + r)) for r, row in enumerate(self._rows)]
+        rank = 0
+        for c in reversed(range(n)):
+            bit = 1 << c
+            pivot_row = None
+            for r in range(rank, n):
+                if aug[r] & bit:
+                    pivot_row = r
+                    break
+            if pivot_row is None:
+                raise ValueError("matrix is singular over GF(2)")
+            aug[rank], aug[pivot_row] = aug[pivot_row], aug[rank]
+            for r in range(n):
+                if r != rank and aug[r] & bit:
+                    aug[r] ^= aug[rank]
+            rank += 1
+        # After reduction row k has pivot in some column; sort rows so the
+        # left half is the identity, then read off the right half.
+        left_mask = mask(n)
+        ordered = [0] * n
+        for row in aug:
+            left = row & left_mask
+            if left.bit_count() != 1:
+                raise ValueError("matrix is singular over GF(2)")
+            ordered[left.bit_length() - 1] = row >> n
+        return GF2Matrix(ordered, n)
+
+    def is_full_rank(self) -> bool:
+        """True when rank equals ``min(nrows, ncols)``."""
+        return self.rank() == min(self.nrows, self._ncols)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, GF2Matrix):
+            return NotImplemented
+        return self._ncols == other._ncols and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._rows, self._ncols))
+
+    def __repr__(self) -> str:
+        return f"GF2Matrix(shape={self.shape}, rows={[bin(r) for r in self._rows]})"
+
+    def __str__(self) -> str:
+        lines = []
+        for row in self._rows:
+            lines.append(" ".join(str((row >> c) & 1) for c in range(self._ncols)))
+        return "\n".join(lines)

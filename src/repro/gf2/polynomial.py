@@ -1,0 +1,103 @@
+"""Polynomials over GF(2) and Rau's polynomial hash functions.
+
+The paper's XOR-indexing lineage starts with Rau (ref. [9]), who
+interleaved memory banks by reducing the address polynomial modulo an
+irreducible polynomial: ``index(a) = a(x) mod p(x)`` over GF(2).  Such
+functions are linear, so they are XOR-functions — the matrix row for
+address bit ``r`` is ``x^r mod p(x)`` — and because ``x^r mod p = x^r``
+for ``r < deg p``, they are *permutation-based* in the paper's sense.
+
+Polynomials are encoded as ints: bit ``i`` is the coefficient of
+``x^i`` (so ``x^4 + x + 1`` is ``0b10011``).
+"""
+
+from __future__ import annotations
+
+from repro.gf2.hashfn import XorHashFunction
+
+__all__ = [
+    "poly_degree",
+    "poly_mul",
+    "poly_mod",
+    "is_irreducible",
+    "irreducible_polynomials",
+    "polynomial_hash_function",
+]
+
+
+def poly_degree(p: int) -> int:
+    """Degree of the polynomial (``-1`` for the zero polynomial)."""
+    if p < 0:
+        raise ValueError(f"polynomials are encoded as non-negative ints, got {p}")
+    return p.bit_length() - 1
+
+
+def poly_mul(a: int, b: int) -> int:
+    """Product of two GF(2) polynomials (carry-less multiplication)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def poly_mod(a: int, p: int) -> int:
+    """Remainder of ``a`` modulo ``p`` over GF(2)."""
+    if p <= 0:
+        raise ValueError("modulus must be a non-zero polynomial")
+    dp = poly_degree(p)
+    da = poly_degree(a)
+    while da >= dp:
+        a ^= p << (da - dp)
+        da = poly_degree(a)
+    return a
+
+
+def is_irreducible(p: int) -> bool:
+    """Exhaustive irreducibility test (fine for the degrees used here).
+
+    A polynomial of degree ``d`` is irreducible iff no polynomial of
+    degree 1..d/2 divides it.
+    """
+    d = poly_degree(p)
+    if d <= 0:
+        return False
+    if d == 1:
+        return True
+    if not p & 1:  # divisible by x
+        return False
+    for candidate in range(2, 1 << (d // 2 + 1)):
+        if poly_degree(candidate) >= 1 and poly_mod(p, candidate) == 0:
+            return False
+    return True
+
+
+def irreducible_polynomials(degree: int) -> list[int]:
+    """All irreducible GF(2) polynomials of the given degree, ascending."""
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    low = 1 << degree
+    return [p for p in range(low, low << 1) if is_irreducible(p)]
+
+
+def polynomial_hash_function(n: int, p: int) -> XorHashFunction:
+    """Rau's hash: set index = address polynomial mod ``p``.
+
+    ``p`` must have degree ``m`` (the number of index bits) and should
+    be irreducible for the stride-mapping guarantees.  Column ``c`` of
+    the resulting matrix collects the coefficient of ``x^c`` in
+    ``x^r mod p`` across address bits ``r``.
+    """
+    m = poly_degree(p)
+    if not 0 < m <= n:
+        raise ValueError(f"modulus degree {m} out of range for n={n}")
+    columns = [0] * m
+    power = 1  # x^0 mod p
+    for r in range(n):
+        for c in range(m):
+            if (power >> c) & 1:
+                columns[c] |= 1 << r
+        power = poly_mod(power << 1, p)
+    return XorHashFunction(n, columns)

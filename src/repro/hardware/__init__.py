@@ -1,0 +1,43 @@
+"""Hardware models for reconfigurable XOR-indexing (paper Sec. 5)."""
+
+from repro.hardware.energy import EnergyModel, EnergyReport, indexing_energy
+from repro.hardware.network import (
+    GeneralXorNetwork,
+    OptimizedBitSelectNetwork,
+    PermutationNetwork,
+    PlainBitSelectNetwork,
+    ReconfigurableNetwork,
+    Selector,
+    build_network,
+)
+from repro.hardware.schematic import render_network, render_selector_row
+from repro.hardware.switches import (
+    bit_select_switches,
+    general_xor_switches,
+    optimized_bit_select_switches,
+    permutation_switches,
+    switch_counts,
+)
+from repro.hardware.wiring import WiringReport, wiring_report
+
+__all__ = [
+    "Selector",
+    "ReconfigurableNetwork",
+    "PlainBitSelectNetwork",
+    "OptimizedBitSelectNetwork",
+    "GeneralXorNetwork",
+    "PermutationNetwork",
+    "build_network",
+    "bit_select_switches",
+    "optimized_bit_select_switches",
+    "general_xor_switches",
+    "permutation_switches",
+    "switch_counts",
+    "WiringReport",
+    "wiring_report",
+    "render_network",
+    "render_selector_row",
+    "EnergyModel",
+    "EnergyReport",
+    "indexing_energy",
+]

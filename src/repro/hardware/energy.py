@@ -1,0 +1,79 @@
+"""First-order energy model for the indexing schemes.
+
+The paper's motivation is the power/performance trade-off of embedded
+systems: conflict misses burn energy in off-chip accesses, and the
+reconfigurable selector itself adds switching capacitance.  This model
+combines both at the granularity Sec. 5 argues about:
+
+* per-access selector energy proportional to the wiring capacitance
+  proxy (crossing + switch count) plus the XOR pass-transistor cost;
+* per-miss refill energy dominated by the off-chip transfer.
+
+Only *relative* numbers are meaningful; defaults are in arbitrary
+femto-joule-like units chosen so one off-chip miss costs about three
+orders of magnitude more than one selector evaluation — the usual
+embedded-SRAM-vs-bus ratio, and the reason removing 30-60% of misses
+dwarfs the selector overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.stats import CacheStats
+from repro.hardware.network import ReconfigurableNetwork
+from repro.hardware.wiring import wiring_report
+
+__all__ = ["EnergyModel", "EnergyReport", "indexing_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Tunable cost coefficients (arbitrary but consistent units)."""
+
+    capacitance_unit: float = 0.02   # per crossing/switch, per access
+    xor_transistor_unit: float = 0.05  # per XOR transistor, per access
+    cache_access: float = 5.0        # SRAM array read
+    miss_refill: float = 4000.0      # off-chip refill
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy split for one (trace, network) combination."""
+
+    scheme: str
+    accesses: int
+    misses: int
+    selector_energy: float
+    array_energy: float
+    miss_energy: float
+
+    @property
+    def total(self) -> float:
+        return self.selector_energy + self.array_energy + self.miss_energy
+
+    @property
+    def selector_overhead_fraction(self) -> float:
+        return self.selector_energy / self.total if self.total else 0.0
+
+
+def indexing_energy(
+    stats: CacheStats,
+    network: ReconfigurableNetwork,
+    model: EnergyModel | None = None,
+) -> EnergyReport:
+    """Combine miss statistics with a selector network's physical cost."""
+    model = model or EnergyModel()
+    report = wiring_report(network)
+    per_access = (
+        model.capacitance_unit * report.capacitance_proxy
+        + model.xor_transistor_unit * report.xor_transistors
+    )
+    return EnergyReport(
+        scheme=network.scheme_name,
+        accesses=stats.accesses,
+        misses=stats.misses,
+        selector_energy=per_access * stats.accesses,
+        array_energy=model.cache_access * stats.accesses,
+        miss_energy=model.miss_refill * stats.misses,
+    )

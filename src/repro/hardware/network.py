@@ -1,0 +1,393 @@
+"""Functional switch-level models of the reconfigurable networks (Sec. 5).
+
+Unlike :mod:`repro.hardware.switches` (which only counts), these classes
+*construct* every selector with its selectable inputs, hold the
+configuration state (one memory cell per switch), and evaluate
+addresses bit-exactly.  Tests verify that a configured network computes
+exactly the same (set index, tag) as the matrix semantics of the hash
+function it was configured from, and that constructed switch counts
+match the closed forms of Table 1.
+
+Conventions: an "option" is either an address-bit input ``("bit", r)``
+or the constant zero ``("const", 0)``.  Exactly one option per selector
+is on.
+"""
+
+from __future__ import annotations
+
+from repro.gf2.hashfn import XorHashFunction
+from repro.hardware.switches import (
+    bit_select_switches,
+    general_xor_switches,
+    optimized_bit_select_switches,
+    permutation_switches,
+)
+
+__all__ = [
+    "Selector",
+    "ReconfigurableNetwork",
+    "PlainBitSelectNetwork",
+    "OptimizedBitSelectNetwork",
+    "GeneralXorNetwork",
+    "PermutationNetwork",
+    "build_network",
+]
+
+Option = tuple[str, int]
+CONST_ZERO: Option = ("const", 0)
+
+
+class Selector:
+    """A 1-out-of-k pass-gate selector with one memory cell per switch."""
+
+    __slots__ = ("name", "options", "_selected")
+
+    def __init__(self, name: str, options: list[Option]):
+        if not options:
+            raise ValueError(f"selector {name} needs at least one option")
+        self.name = name
+        self.options = list(options)
+        self._selected: int | None = None
+
+    @property
+    def switch_count(self) -> int:
+        return len(self.options)
+
+    @property
+    def selected_option(self) -> Option | None:
+        return None if self._selected is None else self.options[self._selected]
+
+    def select(self, option: Option) -> None:
+        try:
+            self._selected = self.options.index(option)
+        except ValueError:
+            raise ValueError(
+                f"selector {self.name} has no option {option!r}; "
+                f"available: {self.options}"
+            ) from None
+
+    def select_bit(self, r: int) -> None:
+        self.select(("bit", r))
+
+    def select_constant(self) -> None:
+        self.select(CONST_ZERO)
+
+    def config_bits(self) -> list[int]:
+        """Memory-cell contents: a one-hot vector over the switches."""
+        if self._selected is None:
+            raise RuntimeError(f"selector {self.name} is not configured")
+        return [1 if i == self._selected else 0 for i in range(len(self.options))]
+
+    def evaluate(self, addr: int) -> int:
+        if self._selected is None:
+            raise RuntimeError(f"selector {self.name} is not configured")
+        kind, value = self.options[self._selected]
+        if kind == "const":
+            return value
+        return (addr >> value) & 1
+
+
+class ReconfigurableNetwork:
+    """Base: a bank of selectors producing ``m`` index and tag bits."""
+
+    scheme_name = "abstract"
+
+    def __init__(self, n: int, m: int):
+        if not 0 < m <= n:
+            raise ValueError(f"need 0 < m <= n, got n={n}, m={m}")
+        self.n = n
+        self.m = m
+        self.index_selectors: list[Selector] = []
+        self.second_input_selectors: list[Selector] = []
+        self.tag_selectors: list[Selector] = []
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def all_selectors(self) -> list[Selector]:
+        return self.index_selectors + self.second_input_selectors + self.tag_selectors
+
+    @property
+    def switch_count(self) -> int:
+        return sum(s.switch_count for s in self.all_selectors)
+
+    @property
+    def config_bit_count(self) -> int:
+        """One memory cell per switch (paper Sec. 5)."""
+        return self.switch_count
+
+    def expected_switch_count(self) -> int:
+        """Closed form from Table 1; tests assert it equals the model."""
+        raise NotImplementedError
+
+    # -- behaviour -------------------------------------------------------
+
+    def configure_from(self, fn: XorHashFunction) -> None:
+        """Program the memory cells to realize ``fn``."""
+        raise NotImplementedError
+
+    def index_of(self, addr: int) -> int:
+        """Set index computed by the configured network."""
+        raise NotImplementedError
+
+    def tag_of(self, addr: int) -> int:
+        """Tag bits from the *hashed window* (bits above ``n`` pass
+        through unchanged outside the network and are appended here so
+        the result matches ``XorHashFunction.tag_of``)."""
+        raise NotImplementedError
+
+
+class _BitSelectTagMixin:
+    """Shared tag plumbing for networks with programmable tag selectors."""
+
+    def _configure_tag(self, fn: XorHashFunction) -> None:
+        positions = fn.tag_bit_positions()
+        if len(positions) != len(self.tag_selectors):
+            raise ValueError(
+                f"function exposes {len(positions)} tag bits, network has "
+                f"{len(self.tag_selectors)} tag selectors"
+            )
+        for selector, pos in zip(self.tag_selectors, sorted(positions)):
+            selector.select_bit(pos)
+
+    def tag_of(self, addr: int) -> int:
+        tag = 0
+        for out, selector in enumerate(self.tag_selectors):
+            tag |= selector.evaluate(addr) << out
+        tag |= (addr >> self.n) << len(self.tag_selectors)
+        return tag
+
+
+class PlainBitSelectNetwork(_BitSelectTagMixin, ReconfigurableNetwork):
+    """Naive scheme: every output selects among all ``n`` address bits."""
+
+    scheme_name = "bit-select"
+
+    def __init__(self, n: int, m: int):
+        super().__init__(n, m)
+        all_bits = [("bit", r) for r in range(n)]
+        self.index_selectors = [
+            Selector(f"index[{c}]", list(all_bits)) for c in range(m)
+        ]
+        self.tag_selectors = [
+            Selector(f"tag[{t}]", list(all_bits)) for t in range(n - m)
+        ]
+
+    def expected_switch_count(self) -> int:
+        return bit_select_switches(self.n, self.m)
+
+    def configure_from(self, fn: XorHashFunction) -> None:
+        if not fn.is_bit_selecting:
+            raise ValueError("a bit-select network can only realize fan-in-1 functions")
+        if (fn.n, fn.m) != (self.n, self.m):
+            raise ValueError(f"function is {fn.n}->{fn.m}, network is {self.n}->{self.m}")
+        for c, col in enumerate(fn.columns):
+            self.index_selectors[c].select_bit(col.bit_length() - 1)
+        self._configure_tag(fn)
+
+    def index_of(self, addr: int) -> int:
+        index = 0
+        for c, selector in enumerate(self.index_selectors):
+            index |= selector.evaluate(addr) << c
+        return index
+
+
+class OptimizedBitSelectNetwork(PlainBitSelectNetwork):
+    """Fig. 2(a) without the redundant (shaded) switches.
+
+    Because permuting the index bits of a cache is behaviour-preserving,
+    index selector ``c`` only needs the window ``a_c .. a_{c+n-m}`` and
+    tag selector ``t`` the window ``a_t .. a_{t+m}`` — any selection
+    pattern can be routed by assigning selected bits to index selectors
+    in increasing order.
+    """
+
+    scheme_name = "optimized bit-select"
+
+    def __init__(self, n: int, m: int):
+        ReconfigurableNetwork.__init__(self, n, m)
+        self.index_selectors = [
+            Selector(f"index[{c}]", [("bit", r) for r in range(c, c + n - m + 1)])
+            for c in range(m)
+        ]
+        self.tag_selectors = [
+            Selector(f"tag[{t}]", [("bit", r) for r in range(t, t + m + 1)])
+            for t in range(n - m)
+        ]
+
+    def expected_switch_count(self) -> int:
+        return optimized_bit_select_switches(self.n, self.m)
+
+    def configure_from(self, fn: XorHashFunction) -> None:
+        if not fn.is_bit_selecting:
+            raise ValueError("a bit-select network can only realize fan-in-1 functions")
+        if (fn.n, fn.m) != (self.n, self.m):
+            raise ValueError(f"function is {fn.n}->{fn.m}, network is {self.n}->{self.m}")
+        # Route selected bits in increasing order; the triangular window
+        # always admits this assignment (bit c of the sorted selection
+        # lies in [c, c + n - m]).
+        selected = sorted(col.bit_length() - 1 for col in fn.columns)
+        for c, bit in enumerate(selected):
+            self.index_selectors[c].select_bit(bit)
+        self._configure_tag(fn)
+
+
+class GeneralXorNetwork(_BitSelectTagMixin, ReconfigurableNetwork):
+    """Reconfigurable 2-input XOR-function network.
+
+    First XOR inputs use the optimized triangular windows; second inputs
+    select among a constant (degrading the gate to bit selection) and
+    the address bits ``a_c .. a_{n-1}`` (triangular redundancy removed);
+    tag bits use the optimized tag windows.
+    """
+
+    scheme_name = "general XOR"
+
+    def __init__(self, n: int, m: int):
+        super().__init__(n, m)
+        self.index_selectors = [
+            Selector(f"first[{c}]", [("bit", r) for r in range(c, c + n - m + 1)])
+            for c in range(m)
+        ]
+        self.second_input_selectors = [
+            Selector(
+                f"second[{c}]",
+                [CONST_ZERO] + [("bit", r) for r in range(c, n)],
+            )
+            for c in range(m)
+        ]
+        self.tag_selectors = [
+            Selector(f"tag[{t}]", [("bit", r) for r in range(t, t + m + 1)])
+            for t in range(n - m)
+        ]
+
+    def expected_switch_count(self) -> int:
+        return general_xor_switches(self.n, self.m)
+
+    @staticmethod
+    def routable_form(fn: XorHashFunction) -> XorHashFunction:
+        """An equivalent (same null space) function whose gates route.
+
+        The triangular windows require each gate's first input bit to be
+        distinct and each second input bit to be no smaller than the
+        gate position.  Eliminating shared lowest bits (XORing one
+        column into another cancels the shared bit and keeps fan-in at
+        2) and sorting columns by lowest bit always produces such a
+        representative for full-rank fan-in-<=2 functions.  Column
+        operations never change the null space, so cache behaviour is
+        preserved exactly.
+        """
+        if fn.max_fan_in > 2:
+            raise ValueError("the general XOR network has 2-input gates")
+        if not fn.is_full_rank:
+            raise ValueError("routing requires a full-rank function")
+        columns = sorted(fn.columns, key=lambda col: col & -col)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(len(columns) - 1):
+                a, b = columns[i], columns[i + 1]
+                if (a & -a) == (b & -b):
+                    columns[i + 1] = a ^ b
+                    assert columns[i + 1], "full rank rules out equal columns"
+                    changed = True
+            columns.sort(key=lambda col: col & -col)
+        result = XorHashFunction(fn.n, columns)
+        assert result.equivalent_to(fn)
+        return result
+
+    def configure_from(self, fn: XorHashFunction) -> None:
+        if (fn.n, fn.m) != (self.n, self.m):
+            raise ValueError(f"function is {fn.n}->{fn.m}, network is {self.n}->{self.m}")
+        realized = self.routable_form(fn)
+        for gate, col in enumerate(realized.columns):
+            low = col & -col
+            first = low.bit_length() - 1
+            rest = col ^ low
+            self.index_selectors[gate].select_bit(first)
+            if rest:
+                self.second_input_selectors[gate].select_bit(rest.bit_length() - 1)
+            else:
+                self.second_input_selectors[gate].select_constant()
+        #: The function the configured network computes bit-for-bit; it
+        #: has the same null space as the requested one.
+        self.realized_function = realized
+        self._configure_tag(realized)
+
+    def index_of(self, addr: int) -> int:
+        index = 0
+        for gate in range(self.m):
+            bit = self.index_selectors[gate].evaluate(addr) ^ \
+                self.second_input_selectors[gate].evaluate(addr)
+            index |= bit << gate
+        return index
+
+
+class PermutationNetwork(ReconfigurableNetwork):
+    """Fig. 2(b): the cheap permutation-based network.
+
+    First XOR inputs are hard-wired to ``a_0 .. a_{m-1}`` (no switches);
+    second inputs select among the ``n - m`` high bits or a constant;
+    the tag is hard-wired to the address bits above ``m``.
+    """
+
+    scheme_name = "permutation-based"
+
+    def __init__(self, n: int, m: int):
+        super().__init__(n, m)
+        self.second_input_selectors = [
+            Selector(
+                f"second[{c}]",
+                [CONST_ZERO] + [("bit", r) for r in range(m, n)],
+            )
+            for c in range(m)
+        ]
+
+    def expected_switch_count(self) -> int:
+        return permutation_switches(self.n, self.m)
+
+    def configure_from(self, fn: XorHashFunction) -> None:
+        if (fn.n, fn.m) != (self.n, self.m):
+            raise ValueError(f"function is {fn.n}->{fn.m}, network is {self.n}->{self.m}")
+        if not fn.is_permutation_based:
+            raise ValueError(
+                "the permutation network only realizes permutation-based "
+                "functions (use permutation_form() first)"
+            )
+        if fn.max_fan_in > 2:
+            raise ValueError("the permutation network has 2-input gates")
+        for c, j in enumerate(fn.sigma()):
+            if j is None:
+                self.second_input_selectors[c].select_constant()
+            else:
+                self.second_input_selectors[c].select_bit(j)
+
+    def index_of(self, addr: int) -> int:
+        index = 0
+        for c in range(self.m):
+            bit = ((addr >> c) & 1) ^ self.second_input_selectors[c].evaluate(addr)
+            index |= bit << c
+        return index
+
+    def tag_of(self, addr: int) -> int:
+        """Hard-wired conventional tag: all block-address bits above m."""
+        return addr >> self.m
+
+
+_SCHEMES = {
+    "bit-select": PlainBitSelectNetwork,
+    "optimized bit-select": OptimizedBitSelectNetwork,
+    "general XOR": GeneralXorNetwork,
+    "permutation-based": PermutationNetwork,
+}
+
+
+def build_network(scheme: str, n: int, m: int) -> ReconfigurableNetwork:
+    """Instantiate one of the four Table 1 schemes by name."""
+    try:
+        cls = _SCHEMES[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; choose from {sorted(_SCHEMES)}"
+        ) from None
+    return cls(n, m)

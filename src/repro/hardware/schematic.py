@@ -1,0 +1,63 @@
+"""ASCII schematics of the reconfigurable selection networks (Fig. 2).
+
+These renderings show, per output, which address bits its selector can
+reach — the programmable region of Fig. 2 — and mark the configured
+switch when the network has been programmed.  They exist for
+documentation and the Fig. 2 bench; correctness lives in
+:mod:`repro.hardware.network`.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.network import ReconfigurableNetwork, Selector
+
+__all__ = ["render_network", "render_selector_row"]
+
+
+def render_selector_row(selector: Selector, n: int) -> str:
+    """One output row: '.' unreachable, 'o' selectable, 'X' selected,
+    'C' = selectable constant (shown in an extra right-hand column)."""
+    cells = ["."] * n
+    const_cell = " "
+    selected = selector.selected_option
+    for option in selector.options:
+        kind, value = option
+        if kind == "bit":
+            cells[value] = "o"
+        else:
+            const_cell = "c"
+    if selected is not None:
+        kind, value = selected
+        if kind == "bit":
+            cells[value] = "X"
+        else:
+            const_cell = "C"
+    return "".join(cells) + " |" + const_cell + f"| {selector.name}"
+
+
+def render_network(network: ReconfigurableNetwork) -> str:
+    """Full schematic: header row of address bits, one row per output."""
+    n = network.n
+    header_tens = "".join(str((r // 10) % 10) if r >= 10 else " " for r in range(n))
+    header_ones = "".join(str(r % 10) for r in range(n))
+    lines = [
+        f"{network.scheme_name} network, n={n}, m={network.m} "
+        f"({network.switch_count} switches)",
+        header_tens + "     address bit",
+        header_ones,
+    ]
+    groups = [
+        ("index selectors", network.index_selectors),
+        ("second XOR inputs", network.second_input_selectors),
+        ("tag selectors", network.tag_selectors),
+    ]
+    for title, selectors in groups:
+        if not selectors:
+            continue
+        lines.append(f"-- {title} --")
+        for selector in selectors:
+            lines.append(render_selector_row(selector, n))
+    if not network.second_input_selectors and not network.tag_selectors \
+            and not network.index_selectors:
+        lines.append("(fully hard-wired)")
+    return "\n".join(lines)

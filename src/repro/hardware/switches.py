@@ -1,0 +1,70 @@
+"""Closed-form switch counts for reconfigurable indexing (paper Table 1).
+
+Each selector is implemented as pass gates — one switch (pass gate +
+config memory cell) per selectable input.  The four schemes of Sec. 5:
+
+* *bit-select*: every one of the ``n`` outputs (``m`` index + ``n - m``
+  tag bits) selects among all ``n`` address bits: ``n^2`` switches.
+* *optimized bit-select*: permuting index bits is free, so selector
+  windows shrink to ``m`` 1-out-of-``(n-m+1)`` index selectors plus
+  ``n - m`` 1-out-of-``(m+1)`` tag selectors.
+* *general XOR (2-input gates)*: optimized first XOR inputs
+  (``m (n-m+1)``), second inputs 1-out-of-``(n+1)`` (a constant input
+  lets a gate degrade to bit selection) minus the triangular redundancy
+  ``m(m-1)/2``, plus the optimized tag selectors.
+* *permutation-based*: first input hard-wired to ``a_c``, tag
+  hard-wired to the high bits; only ``m`` second-input selectors of
+  1-out-of-``(n-m+1)`` (the ``n - m`` high bits or a constant) remain.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "bit_select_switches",
+    "optimized_bit_select_switches",
+    "general_xor_switches",
+    "permutation_switches",
+    "switch_counts",
+]
+
+
+def _validate(n: int, m: int) -> None:
+    if not 0 < m <= n:
+        raise ValueError(f"need 0 < m <= n, got n={n}, m={m}")
+
+
+def bit_select_switches(n: int, m: int) -> int:
+    """Naive reconfigurable bit selection: ``n`` 1-out-of-``n`` selectors."""
+    _validate(n, m)
+    return n * n
+
+
+def optimized_bit_select_switches(n: int, m: int) -> int:
+    """Redundancy-free bit selection (Fig. 2a with shaded switches removed)."""
+    _validate(n, m)
+    return m * (n - m + 1) + (n - m) * (m + 1)
+
+
+def general_xor_switches(n: int, m: int) -> int:
+    """Reconfigurable 2-input XOR-function selector."""
+    _validate(n, m)
+    first_inputs = m * (n - m + 1)
+    second_inputs = m * (n + 1) - m * (m - 1) // 2
+    tag_bits = (n - m) * (m + 1)
+    return first_inputs + second_inputs + tag_bits
+
+
+def permutation_switches(n: int, m: int) -> int:
+    """Permutation-based 2-input XOR selector (Fig. 2b)."""
+    _validate(n, m)
+    return m * (n - m + 1)
+
+
+def switch_counts(n: int, m: int) -> dict[str, int]:
+    """All four schemes at once — one column of Table 1."""
+    return {
+        "bit-select": bit_select_switches(n, m),
+        "optimized bit-select": optimized_bit_select_switches(n, m),
+        "general XOR": general_xor_switches(n, m),
+        "permutation-based": permutation_switches(n, m),
+    }

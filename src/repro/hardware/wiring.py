@@ -1,0 +1,90 @@
+"""Wire-level complexity of the selector networks (paper Sec. 5).
+
+Beyond switch counts, the paper argues the dominant physical cost is
+the selector *crossbar*: input lines crossing output lines create
+high-capacitance nodes.  Bit-selecting functions need ``n`` input lines
+crossed by ``n`` outputs, while permutation-based functions need only
+``n - m`` input lines crossed by ``m`` outputs.  This module exposes
+those grid dimensions plus a simple capacitance/energy proxy so the
+ablation benches can rank the schemes the way Sec. 5 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.network import (
+    GeneralXorNetwork,
+    OptimizedBitSelectNetwork,
+    PermutationNetwork,
+    PlainBitSelectNetwork,
+    ReconfigurableNetwork,
+)
+
+__all__ = ["WiringReport", "wiring_report"]
+
+
+@dataclass(frozen=True)
+class WiringReport:
+    """Crossbar dimensions and derived proxies for one network."""
+
+    scheme: str
+    input_lines: int
+    output_lines: int
+    switch_count: int
+    config_bits: int
+    #: XOR gates on the index path (2 pass gates + 1 inverter each).
+    xor_gates: int
+
+    @property
+    def crossings(self) -> int:
+        """Input x output line crossings — the capacitance hot spots."""
+        return self.input_lines * self.output_lines
+
+    @property
+    def capacitance_proxy(self) -> float:
+        """Relative switching capacitance: each crossing loads both
+        lines; each switch adds a pass-gate junction."""
+        return float(self.crossings + self.switch_count)
+
+    @property
+    def xor_transistors(self) -> int:
+        """Pass-transistor XOR cost: 2 pass gates + 1 inverter (2T) each."""
+        return self.xor_gates * 4
+
+
+def wiring_report(network: ReconfigurableNetwork) -> WiringReport:
+    """Crossbar dimensions for one of the four Sec. 5 schemes."""
+    if not isinstance(network, ReconfigurableNetwork):
+        raise TypeError(f"expected a ReconfigurableNetwork, got {type(network).__name__}")
+    n, m = network.n, network.m
+    if isinstance(network, PermutationNetwork):
+        # Only the n-m high bits enter the crossbar; m selector outputs.
+        return WiringReport(
+            scheme=network.scheme_name,
+            input_lines=n - m,
+            output_lines=m,
+            switch_count=network.switch_count,
+            config_bits=network.config_bit_count,
+            xor_gates=m,
+        )
+    if isinstance(network, GeneralXorNetwork):
+        # All n bits enter; outputs are 2m gate inputs plus n-m tag bits.
+        return WiringReport(
+            scheme=network.scheme_name,
+            input_lines=n,
+            output_lines=2 * m + (n - m),
+            switch_count=network.switch_count,
+            config_bits=network.config_bit_count,
+            xor_gates=m,
+        )
+    if isinstance(network, (PlainBitSelectNetwork, OptimizedBitSelectNetwork)):
+        return WiringReport(
+            scheme=network.scheme_name,
+            input_lines=n,
+            output_lines=n,
+            switch_count=network.switch_count,
+            config_bits=network.config_bit_count,
+            xor_gates=0,
+        )
+    raise TypeError(f"unknown network type {type(network).__name__}")

@@ -1,0 +1,43 @@
+"""Profiling substrate: the paper's Fig. 1 pass and Eq. 4 estimator."""
+
+from repro.profiling.conflict_profile import (
+    ConflictProfile,
+    profile_blocks,
+    profile_blocks_reference,
+    profile_trace,
+)
+from repro.profiling.estimator import (
+    MissEstimator,
+    estimate_misses,
+    estimate_misses_nullspace,
+    estimate_misses_support,
+)
+from repro.profiling.lru_stack import LRUStack
+from repro.profiling.reuse import (
+    FenwickTree,
+    reuse_distance_histogram,
+    reuse_distances,
+)
+from repro.profiling.sampling import (
+    SamplingReport,
+    profile_blocks_sampled,
+    sampling_quality,
+)
+
+__all__ = [
+    "ConflictProfile",
+    "profile_blocks",
+    "profile_blocks_reference",
+    "profile_trace",
+    "MissEstimator",
+    "estimate_misses",
+    "estimate_misses_nullspace",
+    "estimate_misses_support",
+    "LRUStack",
+    "FenwickTree",
+    "reuse_distances",
+    "reuse_distance_histogram",
+    "SamplingReport",
+    "profile_blocks_sampled",
+    "sampling_quality",
+]

@@ -1,0 +1,258 @@
+"""Conflict-vector profiling — the paper's Fig. 1 algorithm.
+
+A conflict between blocks ``x`` and ``y`` is only possible when
+``v = x ^ y`` lies in the hash function's null space (Eq. 2), so the
+number of conflict misses of *any* function ``H`` can be estimated from
+a single trace pass that histograms the vectors ``x ^ y`` between each
+access and the intervening accesses (Eq. 4):
+
+    misses(H) ~= sum over v in N(H) of misses(v)
+
+The profiler filters misses no indexing change can fix: compulsory
+misses (first touches) and capacity misses (reuse distance of at least
+the cache capacity — such accesses miss even in a fully-associative LRU
+cache of the same size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.gf2.bitvec import mask
+from repro.profiling.lru_stack import LRUStack
+from repro.trace.trace import Trace
+
+__all__ = ["ConflictProfile", "profile_blocks", "profile_trace"]
+
+_FLUSH_THRESHOLD = 1 << 22  # buffered conflict vectors before a bincount flush
+
+
+@dataclass(frozen=True)
+class ConflictProfile:
+    """Histogram of conflict vectors over the hashed address window.
+
+    ``counts[v]`` is the number of (access, intervening block) pairs
+    whose XOR, truncated to ``n`` bits, equals ``v`` — the paper's
+    ``misses(v)``.
+    """
+
+    n: int
+    counts: np.ndarray
+    compulsory: int = 0
+    capacity: int = 0
+    accesses: int = 0
+    #: Pairs of distinct blocks equal in all hashed bits.  They conflict
+    #: under *every* n-bit hash function (0 is in every null space), so
+    #: they are an unavoidable constant excluded from ``counts``.
+    beyond_window: int = 0
+
+    def __post_init__(self):
+        counts = np.ascontiguousarray(self.counts, dtype=np.int64)
+        if counts.shape != (1 << self.n,):
+            raise ValueError(
+                f"counts must have shape ({1 << self.n},), got {counts.shape}"
+            )
+        if counts[0] != 0:
+            raise ValueError("misses(0) must be zero: a block cannot conflict with itself")
+        object.__setattr__(self, "counts", counts)
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of all vector counts."""
+        return int(self.counts.sum())
+
+    @property
+    def num_distinct_vectors(self) -> int:
+        return int(np.count_nonzero(self.counts))
+
+    def support(self) -> tuple[np.ndarray, np.ndarray]:
+        """(vectors, counts) for the non-zero entries, as numpy arrays."""
+        vectors = np.nonzero(self.counts)[0].astype(np.uint32)
+        return vectors, self.counts[vectors]
+
+    def weight_of(self, vector: int) -> int:
+        """``misses(v)`` for a single vector."""
+        if not 0 <= vector < (1 << self.n):
+            raise ValueError(f"vector {vector:#x} does not fit in {self.n} bits")
+        return int(self.counts[vector])
+
+    def merged_with(self, other: "ConflictProfile") -> "ConflictProfile":
+        """Pointwise sum of two profiles over the same window."""
+        if self.n != other.n:
+            raise ValueError(f"window sizes differ: {self.n} vs {other.n}")
+        return ConflictProfile(
+            self.n,
+            self.counts + other.counts,
+            compulsory=self.compulsory + other.compulsory,
+            capacity=self.capacity + other.capacity,
+            accesses=self.accesses + other.accesses,
+            beyond_window=self.beyond_window + other.beyond_window,
+        )
+
+    def top_vectors(self, k: int) -> list[tuple[int, int]]:
+        """The ``k`` heaviest conflict vectors as (vector, count) pairs."""
+        vectors, counts = self.support()
+        order = np.argsort(counts)[::-1][:k]
+        return [(int(vectors[i]), int(counts[i])) for i in order]
+
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(
+            Path(path),
+            n=self.n,
+            counts=self.counts,
+            meta=np.array([self.compulsory, self.capacity, self.accesses], dtype=np.int64),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ConflictProfile":
+        with np.load(Path(path)) as data:
+            meta = data["meta"]
+            return cls(
+                int(data["n"]),
+                data["counts"],
+                compulsory=int(meta[0]),
+                capacity=int(meta[1]),
+                accesses=int(meta[2]),
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ConflictProfile(n={self.n}, distinct={self.num_distinct_vectors}, "
+            f"weight={self.total_weight}, compulsory={self.compulsory}, "
+            f"capacity={self.capacity}, accesses={self.accesses})"
+        )
+
+
+def profile_blocks(
+    blocks: np.ndarray, capacity_blocks: int, n: int
+) -> ConflictProfile:
+    """Run the Fig. 1 profiling pass over a block-address trace.
+
+    Parameters
+    ----------
+    blocks:
+        Block addresses in program order.
+    capacity_blocks:
+        Cache capacity in blocks; accesses whose reuse distance reaches
+        it are capacity misses and contribute no conflict vectors.
+    n:
+        Hashed-address window; conflict vectors are truncated to ``n``
+        bits exactly as the hash functions only see ``n`` bits.
+
+    Implementation note: instead of walking an explicit LRU stack (see
+    :func:`profile_blocks_reference`), each block's *current last
+    position* owns a slot in a time-indexed array.  The blocks above
+    ``x`` on the stack are then exactly the live slots between ``x``'s
+    previous access and now, retrieved as one numpy slice — the walk
+    vectorizes and the result is identical.
+    """
+    if capacity_blocks < 1:
+        raise ValueError(f"capacity must be >= 1 block, got {capacity_blocks}")
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    count = len(blocks)
+    window = np.int64(mask(n))
+    counts = np.zeros(1 << n, dtype=np.int64)
+    last_owner = np.full(count, -1, dtype=np.int64)  # slot t -> block or -1
+    last_position: dict[int, int] = {}
+    chunks: list[np.ndarray] = []
+    buffered = 0
+    compulsory = 0
+    capacity = 0
+    beyond_window = 0
+
+    def flush() -> None:
+        nonlocal buffered
+        if chunks:
+            merged = np.concatenate(chunks)
+            np.add(counts, np.bincount(merged, minlength=1 << n), out=counts)
+            chunks.clear()
+            buffered = 0
+
+    for t in range(count):
+        block = int(blocks[t])
+        p = last_position.get(block)
+        if p is None:
+            compulsory += 1
+        else:
+            in_window = last_owner[p + 1 : t]
+            above = in_window[in_window >= 0]
+            if len(above) >= capacity_blocks:
+                capacity += 1
+            elif len(above):
+                vectors = np.bitwise_and(np.bitwise_xor(above, block), window)
+                zero = int(np.count_nonzero(vectors == 0))
+                if zero:
+                    beyond_window += zero
+                    vectors = vectors[vectors != 0]
+                if len(vectors):
+                    chunks.append(vectors)
+                    buffered += len(vectors)
+                    if buffered >= _FLUSH_THRESHOLD:
+                        flush()
+            last_owner[p] = -1
+        last_owner[t] = block
+        last_position[block] = t
+    flush()
+    return ConflictProfile(
+        n,
+        counts,
+        compulsory=compulsory,
+        capacity=capacity,
+        accesses=count,
+        beyond_window=beyond_window,
+    )
+
+
+def profile_blocks_reference(
+    blocks: np.ndarray, capacity_blocks: int, n: int
+) -> ConflictProfile:
+    """Literal transcription of the paper's Fig. 1 with an LRU stack.
+
+    Kept as the oracle for property tests of :func:`profile_blocks`.
+    """
+    if capacity_blocks < 1:
+        raise ValueError(f"capacity must be >= 1 block, got {capacity_blocks}")
+    window = mask(n)
+    counts = np.zeros(1 << n, dtype=np.int64)
+    stack = LRUStack()
+    compulsory = 0
+    capacity = 0
+    beyond_window = 0
+
+    for raw in np.asarray(blocks, dtype=np.uint64):
+        block = int(raw)
+        if block not in stack:
+            compulsory += 1
+            stack.push(block)
+            continue
+        above = stack.blocks_above(block, capacity_blocks - 1)
+        if above is None:
+            capacity += 1
+        else:
+            for other in above:
+                vector = (block ^ other) & window
+                if vector:
+                    counts[vector] += 1
+                else:
+                    beyond_window += 1
+        stack.push(block)
+    return ConflictProfile(
+        n,
+        counts,
+        compulsory=compulsory,
+        capacity=capacity,
+        accesses=len(blocks),
+        beyond_window=beyond_window,
+    )
+
+
+def profile_trace(
+    trace: Trace, geometry: CacheGeometry, n: int
+) -> ConflictProfile:
+    """Profile a :class:`~repro.trace.Trace` for a cache geometry."""
+    blocks = trace.block_addresses(geometry.block_size)
+    return profile_blocks(blocks, geometry.num_blocks, n)

@@ -1,0 +1,142 @@
+"""Conflict-miss estimation from a profile — the paper's Eq. 4.
+
+``misses(H) = sum over v in N(H) of misses(v)``
+
+Two evaluation strategies with identical results:
+
+* *null-space side*: enumerate the ``2^(n-m)`` vectors of ``N(H)`` and
+  sum their histogram entries — cheap when ``n - m`` is small;
+* *support side*: test every profiled vector for null-space membership
+  (``parity(v & h_c) == 0`` for all columns) — cheap when the profile
+  support is smaller than the null space.
+
+:class:`MissEstimator` packages the support arrays once per profile and
+adds the batched single-column evaluation the hill climber relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf2.bitvec import parity_table
+from repro.gf2.hashfn import XorHashFunction
+from repro.profiling.conflict_profile import ConflictProfile
+
+__all__ = [
+    "estimate_misses",
+    "estimate_misses_nullspace",
+    "estimate_misses_support",
+    "MissEstimator",
+]
+
+
+def estimate_misses_nullspace(
+    profile: ConflictProfile, hash_function: XorHashFunction
+) -> int:
+    """Eq. 4 by enumerating the null space."""
+    _check(profile, hash_function)
+    counts = profile.counts
+    return int(sum(int(counts[v]) for v in hash_function.null_space()))
+
+
+def estimate_misses_support(
+    profile: ConflictProfile, hash_function: XorHashFunction
+) -> int:
+    """Eq. 4 by scanning the profile support."""
+    _check(profile, hash_function)
+    vectors, weights = profile.support()
+    if len(vectors) == 0:
+        return 0
+    table = parity_table()
+    alive = np.ones(len(vectors), dtype=bool)
+    small = vectors.astype(np.uint32)
+    for col in hash_function.columns:
+        np.logical_and(alive, table[small & np.uint32(col)] == 0, out=alive)
+    return int(weights[alive].sum())
+
+
+def estimate_misses(
+    profile: ConflictProfile, hash_function: XorHashFunction
+) -> int:
+    """Eq. 4, choosing the cheaper evaluation side automatically."""
+    _check(profile, hash_function)
+    null_size = 1 << (hash_function.n - hash_function.rank)
+    if null_size <= profile.num_distinct_vectors:
+        return estimate_misses_nullspace(profile, hash_function)
+    return estimate_misses_support(profile, hash_function)
+
+
+def _check(profile: ConflictProfile, hash_function: XorHashFunction) -> None:
+    if profile.n != hash_function.n:
+        raise ValueError(
+            f"profile window ({profile.n} bits) does not match hash function "
+            f"({hash_function.n} bits)"
+        )
+    if profile.n > 16:
+        raise ValueError("support-side estimation requires n <= 16")
+
+
+class MissEstimator:
+    """Fast repeated Eq. 4 evaluation against one profile.
+
+    The hill climber asks two questions many times per step:
+
+    * the cost of a full column set (:meth:`cost`);
+    * the costs of replacing a single column by each of many candidate
+      masks while the others stay fixed
+      (:meth:`costs_with_column_replaced`) — the support is first
+      reduced to vectors annihilated by the *fixed* columns, then each
+      candidate touches only that residue.
+    """
+
+    def __init__(self, profile: ConflictProfile):
+        self.profile = profile
+        self.n = profile.n
+        vectors, weights = profile.support()
+        self._vectors = vectors.astype(np.uint32)
+        self._weights = weights.astype(np.int64)
+        self._table = parity_table()
+        self.evaluations = 0
+
+    @property
+    def support_size(self) -> int:
+        return len(self._vectors)
+
+    def cost(self, columns: tuple[int, ...]) -> int:
+        """Estimated conflict misses for a function with these columns."""
+        alive = self._alive(columns)
+        self.evaluations += 1
+        return int(self._weights[alive].sum())
+
+    def cost_of(self, hash_function: XorHashFunction) -> int:
+        return self.cost(hash_function.columns)
+
+    def costs_with_column_replaced(
+        self, columns: tuple[int, ...], column_index: int, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Cost of ``columns`` with ``columns[column_index]`` replaced by
+        each candidate mask; returns an ``int64`` array aligned with
+        ``candidates``."""
+        fixed = tuple(
+            col for c, col in enumerate(columns) if c != column_index
+        )
+        alive = self._alive(fixed)
+        vectors = self._vectors[alive]
+        weights = self._weights[alive]
+        candidates = np.asarray(candidates, dtype=np.uint32)
+        out = np.empty(len(candidates), dtype=np.int64)
+        table = self._table
+        for i, cand in enumerate(candidates):
+            zero_parity = table[vectors & cand] == 0
+            out[i] = weights[zero_parity].sum()
+        self.evaluations += len(candidates)
+        return out
+
+    def _alive(self, columns: tuple[int, ...]) -> np.ndarray:
+        """Support vectors annihilated by every given column."""
+        alive = np.ones(len(self._vectors), dtype=bool)
+        table = self._table
+        vectors = self._vectors
+        for col in columns:
+            np.logical_and(alive, table[vectors & np.uint32(col)] == 0, out=alive)
+        return alive

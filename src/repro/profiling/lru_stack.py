@@ -1,0 +1,76 @@
+"""LRU stack used by the profiling algorithm (paper Fig. 1).
+
+The stack keeps blocks ordered by recency (top = most recent).  The
+profiler needs, per access, the blocks *above* the accessed block —
+i.e. everything touched since its previous access — up to a depth bound
+(the cache capacity, beyond which the miss is a capacity miss and is
+not profiled).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+
+__all__ = ["LRUStack"]
+
+
+class LRUStack:
+    """An LRU stack of block addresses with bounded-depth lookup."""
+
+    __slots__ = ("_stack",)
+
+    def __init__(self):
+        # Insertion-ordered dict; the *end* is the top of the stack.
+        self._stack: OrderedDict[int, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._stack
+
+    def push(self, block: int) -> None:
+        """Push a new block on top (or move an existing one to the top)."""
+        if block in self._stack:
+            self._stack.move_to_end(block)
+        else:
+            self._stack[block] = None
+
+    def blocks_above(self, block: int, limit: int) -> list[int] | None:
+        """Blocks more recent than ``block``, top-down, or ``None``.
+
+        Returns ``None`` when ``block`` is deeper than ``limit`` (the
+        profiler then classifies the access as a capacity miss).  The
+        walk inspects at most ``limit + 1`` entries, bounding profiling
+        cost by the cache capacity.
+
+        Raises ``KeyError`` when ``block`` is not on the stack at all
+        (callers must handle the compulsory case first).
+        """
+        if block not in self._stack:
+            raise KeyError(f"block {block:#x} not on stack")
+        above: list[int] = []
+        for candidate in reversed(self._stack):
+            if candidate == block:
+                return above
+            if len(above) >= limit:
+                return None
+            above.append(candidate)
+        raise AssertionError("unreachable: membership checked above")
+
+    def depth_of(self, block: int) -> int | None:
+        """0-based depth from the top, or ``None`` if absent (unbounded walk)."""
+        if block not in self._stack:
+            return None
+        for depth, candidate in enumerate(reversed(self._stack)):
+            if candidate == block:
+                return depth
+        raise AssertionError("unreachable: membership checked above")
+
+    def top_down(self) -> Iterator[int]:
+        """Iterate blocks from most to least recently used."""
+        return reversed(self._stack)
+
+    def clear(self) -> None:
+        self._stack.clear()

@@ -1,0 +1,98 @@
+"""Reuse-distance computation.
+
+The reuse distance of an access is the number of *distinct* blocks
+touched since the previous access to the same block (the LRU stack
+depth).  The paper's capacity filter classifies accesses with reuse
+distance reaching the cache capacity as capacity misses.
+
+Implemented with a Fenwick (binary indexed) tree over access positions:
+O(N log N) total, independent of stack depth — used for analysis and to
+cross-check the bounded-walk profiler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reuse_distances", "reuse_distance_histogram", "FenwickTree"]
+
+
+class FenwickTree:
+    """Prefix-sum tree over ``size`` integer cells."""
+
+    __slots__ = ("_tree", "size")
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self.size = size
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` to cell ``index`` (0-based)."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} out of range [0, {self.size})")
+        i = index + 1
+        while i <= self.size:
+            self._tree[i] += delta
+            i += i & -i
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of cells ``[0, index]`` (0-based, inclusive); -1 gives 0."""
+        if index >= self.size:
+            raise IndexError(f"index {index} out of range [0, {self.size})")
+        total = 0
+        i = index + 1
+        while i > 0:
+            total += self._tree[i]
+            i -= i & -i
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of cells ``[lo, hi]`` inclusive."""
+        if lo > hi:
+            return 0
+        return self.prefix_sum(hi) - (self.prefix_sum(lo - 1) if lo > 0 else 0)
+
+
+def reuse_distances(blocks: np.ndarray) -> np.ndarray:
+    """Per-access reuse distances; -1 marks first touches.
+
+    Each block's most recent position carries a mark in a Fenwick tree;
+    the distance of a reaccess is the number of marks strictly between
+    the previous and current positions.
+    """
+    blocks = np.asarray(blocks, dtype=np.uint64)
+    count = len(blocks)
+    distances = np.empty(count, dtype=np.int64)
+    tree = FenwickTree(count)
+    last_position: dict[int, int] = {}
+    for i in range(count):
+        block = int(blocks[i])
+        previous = last_position.get(block)
+        if previous is None:
+            distances[i] = -1
+        else:
+            distances[i] = tree.range_sum(previous + 1, i - 1) if i - 1 >= previous + 1 else 0
+            tree.add(previous, -1)
+        tree.add(i, 1)
+        last_position[block] = i
+    return distances
+
+
+def reuse_distance_histogram(
+    blocks: np.ndarray, max_distance: int | None = None
+) -> dict[int, int]:
+    """Histogram of reuse distances (first touches keyed as -1).
+
+    Distances above ``max_distance`` are pooled under that bound, which
+    matches how the capacity filter consumes the information.
+    """
+    distances = reuse_distances(blocks)
+    histogram: dict[int, int] = {}
+    for d in distances:
+        d = int(d)
+        if max_distance is not None and d > max_distance:
+            d = max_distance
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram

@@ -1,0 +1,37 @@
+"""Design-space search: families, hill climbing, exhaustive baselines."""
+
+from repro.search.exhaustive import (
+    ExhaustiveResult,
+    enumerate_bit_select_masks,
+    misses_bit_select_exact,
+    optimal_bit_select,
+)
+from repro.search.families import (
+    BitSelectFamily,
+    FunctionFamily,
+    GeneralXorFamily,
+    PermutationFamily,
+    family_for_name,
+)
+from repro.search.hill_climb import SearchResult, hill_climb, hill_climb_restarts
+from repro.search.objective import EstimatedMissObjective, ExactSimulationObjective
+from repro.search.optimal_xor import OptimalXorResult, optimal_xor_function
+
+__all__ = [
+    "FunctionFamily",
+    "GeneralXorFamily",
+    "PermutationFamily",
+    "BitSelectFamily",
+    "family_for_name",
+    "SearchResult",
+    "hill_climb",
+    "hill_climb_restarts",
+    "ExhaustiveResult",
+    "optimal_bit_select",
+    "enumerate_bit_select_masks",
+    "misses_bit_select_exact",
+    "EstimatedMissObjective",
+    "ExactSimulationObjective",
+    "OptimalXorResult",
+    "optimal_xor_function",
+]

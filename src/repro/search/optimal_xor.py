@@ -1,0 +1,105 @@
+"""Exhaustive optimal XOR-function search — the paper's future work.
+
+Sec. 6.1 concludes: "Algorithms for optimal XOR-functions are not
+known, but our analysis suggests that there is potential room for
+improvement."  Because the Eq. 4 objective depends on a function only
+through its null space, optimality *under the profile estimate* can be
+decided by enumerating every ``(n - m)``-dimensional subspace of
+GF(2)^n once — the paper's own Sec. 2 deduplication taken to its
+logical end.  The Gaussian-binomial space count limits this to small
+hashed windows (n <= ~9; ``[8 choose 4]_2 = 200787``), which is enough
+to measure how far the hill climber's local optima are from the global
+one (see ``experiments.ablations.optimality_gap``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.gf2.bitvec import mask
+from repro.gf2.counting import gaussian_binomial
+from repro.gf2.hashfn import XorHashFunction
+from repro.gf2.spaces import Subspace, all_subspace_bases
+from repro.profiling.conflict_profile import ConflictProfile
+
+__all__ = ["OptimalXorResult", "optimal_xor_function"]
+
+_SPACE_BUDGET = 3_000_000
+
+
+@dataclass(frozen=True)
+class OptimalXorResult:
+    """Globally optimal function under the Eq. 4 estimate."""
+
+    function: XorHashFunction
+    estimated_misses: int
+    spaces_evaluated: int
+    seconds: float
+    permutation_only: bool
+
+
+def optimal_xor_function(
+    profile: ConflictProfile,
+    m: int,
+    permutation_only: bool = False,
+) -> OptimalXorResult:
+    """Enumerate all null spaces; return the Eq. 4-optimal function.
+
+    ``permutation_only`` restricts to null spaces satisfying Eq. 5
+    (``N(H) ∩ span(e_0..e_{m-1}) = {0}``); the result is then returned
+    in permutation form.  Raises ``ValueError`` when the design space
+    exceeds a safety budget — use the hill climber for real sizes.
+    """
+    n = profile.n
+    if not 0 < m <= n:
+        raise ValueError(f"need 0 < m <= n={n}, got m={m}")
+    dim = n - m
+    space_count = gaussian_binomial(n, dim)
+    if space_count > _SPACE_BUDGET:
+        raise ValueError(
+            f"{space_count} null spaces for n={n}, m={m} exceed the "
+            f"exhaustive budget ({_SPACE_BUDGET}); use hill_climb instead"
+        )
+    t0 = time.perf_counter()
+    counts = profile.counts
+    low_mask = mask(m)
+    best_cost: int | None = None
+    best_basis: tuple[int, ...] = ()
+    evaluated = 0
+    for basis in all_subspace_bases(n, dim):
+        # Gray-code walk over the 2^dim members; cost is the Eq. 4 sum.
+        cost = 0
+        admissible = True
+        value = 0
+        for i in range(1, 1 << dim):
+            value ^= basis[(i & -i).bit_length() - 1]
+            if permutation_only and value & low_mask == value:
+                admissible = False
+                break
+            cost += int(counts[value])
+            if best_cost is not None and cost > best_cost:
+                break
+        else:
+            pass
+        evaluated += 1
+        if not admissible:
+            continue
+        if best_cost is not None and cost > best_cost:
+            continue
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_basis = basis
+    assert best_cost is not None, "at least one space is always admissible"
+    null_space = Subspace(best_basis, n)
+    columns = null_space.orthogonal_complement().basis
+    function = XorHashFunction(n, columns)
+    if permutation_only:
+        function = function.permutation_form()
+    return OptimalXorResult(
+        function=function,
+        estimated_misses=best_cost,
+        spaces_evaluated=evaluated,
+        seconds=time.perf_counter() - t0,
+        permutation_only=permutation_only,
+    )

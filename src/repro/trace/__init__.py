@@ -1,0 +1,34 @@
+"""Address-trace substrate: the Trace type, synthetic generators, I/O."""
+
+from repro.trace.formats import load_dinero, load_lackey
+from repro.trace.io import load_trace, load_trace_text, save_trace, save_trace_text
+from repro.trace.stats import TraceSummary, summarize
+from repro.trace.synth import (
+    interleaved,
+    matrix_column_walk,
+    pingpong,
+    random_uniform,
+    repeat,
+    sequential,
+    strided,
+)
+from repro.trace.trace import Trace
+
+__all__ = [
+    "Trace",
+    "TraceSummary",
+    "summarize",
+    "save_trace",
+    "load_trace",
+    "save_trace_text",
+    "load_trace_text",
+    "load_dinero",
+    "load_lackey",
+    "sequential",
+    "strided",
+    "interleaved",
+    "matrix_column_walk",
+    "pingpong",
+    "random_uniform",
+    "repeat",
+]

@@ -1,0 +1,104 @@
+"""Readers for classic cache-trace interchange formats.
+
+Real traces usually arrive in one of two venerable formats; supporting
+them makes the optimizer directly usable on externally captured
+workloads:
+
+* **Dinero** (``din``): one reference per line, ``<label> <hex-addr>``
+  with label 0 = read, 1 = write, 2 = instruction fetch;
+* **Valgrind Lackey** (``valgrind --tool=lackey --trace-mem=yes``):
+  lines like ``I  04000000,4`` / `` L 0400a000,8`` / `` S ...`` /
+  `` M ...`` (modify = load + store).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.trace import Trace
+
+__all__ = ["load_dinero", "load_lackey"]
+
+_DINERO_KINDS = {0: "data", 1: "data", 2: "instruction"}
+
+
+def load_dinero(
+    path: str | Path, kinds: str = "data", name: str | None = None
+) -> Trace:
+    """Load a Dinero ``din`` trace.
+
+    ``kinds`` selects which references to keep: ``"data"`` (labels 0/1),
+    ``"instruction"`` (label 2) or ``"unified"`` (all).
+    """
+    if kinds not in ("data", "instruction", "unified"):
+        raise ValueError(f"kinds must be data/instruction/unified, got {kinds!r}")
+    addresses: list[int] = []
+    total = 0
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{lineno}: malformed dinero line {line!r}")
+            try:
+                label = int(parts[0])
+                addr = int(parts[1], 16)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+            if label not in _DINERO_KINDS:
+                raise ValueError(f"{path}:{lineno}: unknown dinero label {label}")
+            total += 1
+            if kinds == "unified" or _DINERO_KINDS[label] == kinds:
+                addresses.append(addr)
+    return Trace(
+        np.array(addresses, dtype=np.uint64),
+        uops=total,
+        name=name or Path(path).stem,
+        kind=kinds,
+    )
+
+
+def load_lackey(
+    path: str | Path, kinds: str = "data", name: str | None = None
+) -> Trace:
+    """Load a Valgrind Lackey ``--trace-mem=yes`` log.
+
+    Instruction lines start with ``I`` in column 0; data lines are
+    indented (`` L`` load, `` S`` store, `` M`` modify — a modify
+    contributes a load and a store).  Non-trace lines are skipped.
+    """
+    if kinds not in ("data", "instruction", "unified"):
+        raise ValueError(f"kinds must be data/instruction/unified, got {kinds!r}")
+    addresses: list[int] = []
+    total = 0
+    with open(path) as fh:
+        for line in fh:
+            if len(line) < 3:
+                continue
+            marker = line[:2]
+            if marker == "I ":
+                kind = "instruction"
+            elif marker in (" L", " S", " M"):
+                kind = "data"
+            else:
+                continue
+            body = line[2:].strip()
+            addr_text, __, _size = body.partition(",")
+            try:
+                addr = int(addr_text, 16)
+            except ValueError:
+                continue
+            repeats = 2 if marker == " M" else 1
+            total += repeats
+            if kinds == "unified" or kind == kinds:
+                addresses.extend([addr] * repeats)
+    return Trace(
+        np.array(addresses, dtype=np.uint64),
+        uops=total,
+        name=name or Path(path).stem,
+        kind=kinds,
+    )

@@ -1,0 +1,74 @@
+"""Trace persistence: compressed npz and a plain-text interchange format."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.trace import Trace
+
+__all__ = ["save_trace", "load_trace", "save_trace_text", "load_trace_text"]
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Save to ``.npz`` (addresses plus a JSON header)."""
+    header = {
+        "uops": trace.uops,
+        "name": trace.name,
+        "kind": trace.kind,
+        "metadata": trace.metadata,
+    }
+    np.savez_compressed(
+        Path(path),
+        addresses=trace.addresses,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Inverse of :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["header"]).decode())
+        return Trace(
+            data["addresses"],
+            uops=int(header["uops"]),
+            name=header["name"],
+            kind=header["kind"],
+            metadata=header["metadata"],
+        )
+
+
+def save_trace_text(trace: Trace, path: str | Path) -> None:
+    """One hex byte-address per line, with a ``#``-comment header."""
+    with open(path, "w") as fh:
+        fh.write(f"# name: {trace.name}\n")
+        fh.write(f"# kind: {trace.kind}\n")
+        fh.write(f"# uops: {trace.uops}\n")
+        for addr in trace.addresses:
+            fh.write(f"{int(addr):x}\n")
+
+
+def load_trace_text(path: str | Path) -> Trace:
+    """Inverse of :func:`save_trace_text`."""
+    name, kind, uops = "trace", "data", 0
+    addresses: list[int] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                key, __, value = line[1:].partition(":")
+                key = key.strip()
+                value = value.strip()
+                if key == "name":
+                    name = value
+                elif key == "kind":
+                    kind = value
+                elif key == "uops":
+                    uops = int(value)
+                continue
+            addresses.append(int(line, 16))
+    return Trace(np.array(addresses, dtype=np.uint64), uops=uops, name=name, kind=kind)

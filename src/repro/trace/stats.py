@@ -1,0 +1,50 @@
+"""Summary statistics for traces (used by reports and sanity tests)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.trace import Trace
+
+__all__ = ["TraceSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate description of a trace at a given block size."""
+
+    name: str
+    kind: str
+    references: int
+    uops: int
+    unique_blocks: int
+    footprint_bytes: int
+    min_address: int
+    max_address: int
+
+    def format(self) -> str:
+        return (
+            f"{self.name} ({self.kind}): {self.references} refs, "
+            f"{self.uops} uops, {self.unique_blocks} blocks "
+            f"({self.footprint_bytes / 1024:.1f} KiB footprint), "
+            f"addresses [{self.min_address:#x}, {self.max_address:#x}]"
+        )
+
+
+def summarize(trace: Trace, block_size: int = 4) -> TraceSummary:
+    """Compute a :class:`TraceSummary`."""
+    if len(trace) == 0:
+        return TraceSummary(trace.name, trace.kind, 0, trace.uops, 0, 0, 0, 0)
+    blocks = trace.block_addresses(block_size)
+    return TraceSummary(
+        name=trace.name,
+        kind=trace.kind,
+        references=len(trace),
+        uops=trace.uops,
+        unique_blocks=int(np.unique(blocks).size),
+        footprint_bytes=int(np.unique(blocks).size) * block_size,
+        min_address=int(trace.addresses.min()),
+        max_address=int(trace.addresses.max()),
+    )

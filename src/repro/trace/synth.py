@@ -1,0 +1,112 @@
+"""Synthetic address-trace generators.
+
+These produce the canonical conflict-miss patterns the XOR-indexing
+literature targets (strides, power-of-two matrix walks, interleaved
+streams) and are used heavily by the tests: their conflict structure is
+known in closed form, so optimizer behaviour can be checked exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.trace import Trace
+
+__all__ = [
+    "sequential",
+    "strided",
+    "interleaved",
+    "matrix_column_walk",
+    "random_uniform",
+    "pingpong",
+    "repeat",
+]
+
+
+def sequential(count: int, base: int = 0, step: int = 4, name: str = "sequential") -> Trace:
+    """``count`` consecutive references: base, base+step, ..."""
+    addrs = base + step * np.arange(count, dtype=np.uint64)
+    return Trace(addrs, name=name, metadata={"base": base, "step": step})
+
+
+def strided(
+    count: int, stride: int, base: int = 0, name: str = "strided"
+) -> Trace:
+    """A single stride pattern (paper Sec. 1/Rau): base, base+stride, ..."""
+    addrs = base + stride * np.arange(count, dtype=np.uint64)
+    return Trace(addrs, name=name, metadata={"base": base, "stride": stride})
+
+
+def interleaved(streams: list[np.ndarray], name: str = "interleaved") -> Trace:
+    """Round-robin interleaving of several equal-length address streams.
+
+    Two streams whose blocks collide under the index function generate a
+    conflict miss per access — the canonical ping-pong pattern.
+    """
+    if not streams:
+        raise ValueError("need at least one stream")
+    length = len(streams[0])
+    for i, s in enumerate(streams):
+        if len(s) != length:
+            raise ValueError(f"stream {i} has length {len(s)}, expected {length}")
+    stacked = np.stack([np.asarray(s, dtype=np.uint64) for s in streams], axis=1)
+    return Trace(stacked.reshape(-1), name=name)
+
+
+def pingpong(
+    addr_a: int, addr_b: int, repeats: int, name: str = "pingpong"
+) -> Trace:
+    """Alternate between two addresses: a, b, a, b, ..."""
+    addrs = np.empty(2 * repeats, dtype=np.uint64)
+    addrs[0::2] = addr_a
+    addrs[1::2] = addr_b
+    return Trace(addrs, name=name)
+
+
+def matrix_column_walk(
+    rows: int,
+    cols: int,
+    row_pitch_bytes: int,
+    element_size: int = 4,
+    base: int = 0,
+    name: str = "matrix-column-walk",
+) -> Trace:
+    """Walk a 2-D array column by column.
+
+    With a power-of-two ``row_pitch_bytes`` every element of a column
+    maps to the same set under modulo indexing — the classic worst case
+    that XOR-indexing fixes (Sec. 1 of the paper, refs [3, 14]).
+    """
+    r = np.arange(rows, dtype=np.uint64)
+    c = np.arange(cols, dtype=np.uint64)
+    addrs = (
+        base
+        + (c[:, None] * element_size + r[None, :] * row_pitch_bytes)
+    ).reshape(-1)
+    return Trace(
+        addrs.astype(np.uint64),
+        name=name,
+        metadata={"rows": rows, "cols": cols, "row_pitch": row_pitch_bytes},
+    )
+
+
+def random_uniform(
+    count: int, footprint_bytes: int, rng, base: int = 0, name: str = "random"
+) -> Trace:
+    """Uniformly random word-aligned references inside a footprint."""
+    words = max(footprint_bytes // 4, 1)
+    offsets = rng.integers(0, words, size=count, dtype=np.uint64) * 4
+    return Trace(base + offsets, name=name, metadata={"footprint": footprint_bytes})
+
+
+def repeat(trace: Trace, times: int, name: str | None = None) -> Trace:
+    """Replay a trace ``times`` times back to back."""
+    if times < 1:
+        raise ValueError(f"times must be >= 1, got {times}")
+    return Trace(
+        np.tile(trace.addresses, times),
+        uops=trace.uops * times,
+        name=name or f"{trace.name}x{times}",
+        kind=trace.kind,
+        metadata=dict(trace.metadata),
+    )

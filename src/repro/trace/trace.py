@@ -1,0 +1,108 @@
+"""Memory-access traces.
+
+A :class:`Trace` is the unit of work for the whole pipeline: workloads
+produce traces, the profiler consumes them, and the cache simulators
+replay them.  Addresses are byte addresses stored as ``uint64``; the
+paper's experiments use 4-byte cache blocks, so block addresses are the
+byte addresses shifted right by 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Trace"]
+
+_VALID_KINDS = ("data", "instruction", "unified")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered sequence of memory references plus execution metadata.
+
+    Parameters
+    ----------
+    addresses:
+        Byte addresses in program order (coerced to ``uint64``).
+    uops:
+        Total micro-operations executed by the program that produced the
+        trace; used for the paper's misses/K-uop metric.  Defaults to the
+        number of references when the producer has no CPU model.
+    name:
+        Identifier, e.g. ``"mibench/fft"``.
+    kind:
+        ``"data"``, ``"instruction"`` or ``"unified"``.
+    metadata:
+        Free-form provenance (workload parameters, seeds, ...).
+    """
+
+    addresses: np.ndarray
+    uops: int = 0
+    name: str = "trace"
+    kind: str = "data"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        addresses = np.ascontiguousarray(self.addresses, dtype=np.uint64)
+        object.__setattr__(self, "addresses", addresses)
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"kind must be one of {_VALID_KINDS}, got {self.kind!r}")
+        if self.uops == 0:
+            object.__setattr__(self, "uops", int(len(addresses)))
+        if self.uops < 0:
+            raise ValueError(f"uops must be non-negative, got {self.uops}")
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def block_addresses(self, block_size: int) -> np.ndarray:
+        """Block addresses for the given block size (a power of two)."""
+        if block_size <= 0 or block_size & (block_size - 1):
+            raise ValueError(f"block size must be a power of two, got {block_size}")
+        shift = block_size.bit_length() - 1
+        return self.addresses >> np.uint64(shift)
+
+    def unique_blocks(self, block_size: int) -> int:
+        """Number of distinct blocks touched (the block working set)."""
+        return int(np.unique(self.block_addresses(block_size)).size)
+
+    def footprint_bytes(self, block_size: int) -> int:
+        """Touched memory, rounded to blocks."""
+        return self.unique_blocks(block_size) * block_size
+
+    def head(self, count: int) -> "Trace":
+        """A new trace containing the first ``count`` references.
+
+        Uop counts are scaled proportionally so misses/K-uop stays
+        meaningful for truncated runs.
+        """
+        if count >= len(self):
+            return self
+        scale = count / max(len(self), 1)
+        return Trace(
+            self.addresses[:count],
+            uops=max(int(self.uops * scale), count),
+            name=self.name,
+            kind=self.kind,
+            metadata={**self.metadata, "truncated_from": len(self)},
+        )
+
+    def concat(self, other: "Trace", name: str | None = None) -> "Trace":
+        """Concatenate two traces in time order."""
+        kind = self.kind if self.kind == other.kind else "unified"
+        return Trace(
+            np.concatenate([self.addresses, other.addresses]),
+            uops=self.uops + other.uops,
+            name=name or f"{self.name}+{other.name}",
+            kind=kind,
+            metadata={"parts": [self.name, other.name]},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.name!r}, kind={self.kind!r}, "
+            f"refs={len(self)}, uops={self.uops})"
+        )

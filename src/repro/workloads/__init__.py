@@ -1,0 +1,24 @@
+"""Benchmark workload substrate.
+
+Re-implementations of the paper's MediaBench/MiBench (Table 2) and
+PowerStone (Table 3) kernels: each runs its algorithm against a
+simulated memory layout and emits the data addresses, instruction
+fetches and uop counts the real benchmark would produce.  See DESIGN.md
+for the substitution rationale.
+"""
+
+from repro.workloads.cpu import CodeImage, TraceBuilder, WorkloadRun
+from repro.workloads.layout import MemoryLayout, Region
+from repro.workloads.registry import SUITES, get_trace, get_workload, workload_names
+
+__all__ = [
+    "MemoryLayout",
+    "Region",
+    "TraceBuilder",
+    "CodeImage",
+    "WorkloadRun",
+    "SUITES",
+    "workload_names",
+    "get_workload",
+    "get_trace",
+]

@@ -1,0 +1,28 @@
+"""MiBench/MediaBench workload kernels (paper Table 2 benchmarks)."""
+
+from repro.workloads.mibench import (
+    adpcm,
+    dijkstra,
+    fft,
+    jpeg,
+    lame,
+    mpeg2,
+    rijndael,
+    susan,
+)
+
+#: name -> run(scale, seed) for the ten Table 2 benchmarks.
+KERNELS = {
+    "dijkstra": dijkstra.run,
+    "fft": fft.run,
+    "jpeg_enc": jpeg.run_encoder,
+    "jpeg_dec": jpeg.run_decoder,
+    "lame": lame.run,
+    "rijndael": rijndael.run,
+    "susan": susan.run,
+    "adpcm_dec": adpcm.run_decoder,
+    "adpcm_enc": adpcm.run_encoder,
+    "mpeg2_dec": mpeg2.run,
+}
+
+__all__ = ["KERNELS"]

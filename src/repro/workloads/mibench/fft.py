@@ -1,0 +1,83 @@
+"""MiBench ``fft``: iterative radix-2 FFT.
+
+Data behaviour: separate power-of-two real/imaginary arrays accessed
+with power-of-two butterfly strides, plus twiddle-factor tables.  The
+stride pattern is the canonical XOR-indexing showcase (Rau, paper ref.
+[9]): under modulo indexing entire butterfly stages collide.
+
+Instruction behaviour: MiBench's fft computes twiddles with ``sin``/
+``cos`` library calls inside the butterfly loop, so the hot code path
+is butterfly + two large libm routines — ~1.2 KB per iteration, placed
+so the routines alias the butterfly code modulo 4 KB.  This reproduces
+the paper's picture: heavy I-cache thrash at 1 KB, conflict-dominated
+misses at 4 KB, near-fit at 16 KB.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.cpu import CodeImage, TraceBuilder, WorkloadRun
+from repro.workloads.layout import MemoryLayout
+
+_SCALES = {"tiny": 128, "small": 512, "default": 1024, "large": 4096}
+
+
+def run(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    size = _SCALES[scale]
+    stages = size.bit_length() - 1
+
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    code.block("bit_reverse", 12)
+    code.block("stage_loop", 10)
+    butterfly_instr = 28
+    code.block("butterfly", butterfly_instr)
+    # libm sin 4 KB downstream of the butterfly (they alias in a 4 KB
+    # cache over the butterfly's 112 bytes); cos 2 KB further (no alias).
+    code.block("libm_sin", 140, padding=4096 - 4 * butterfly_instr)
+    code.block("libm_cos", 140, padding=2048 - 4 * 140)
+
+    real = layout.alloc("real", size * 4, segment="heap", align=size * 4)
+    imag = layout.alloc("imag", size * 4, segment="heap", align=size * 4)
+    sin_lut = layout.alloc("sin_lut", 256 * 4, align=1024)
+
+    builder = TraceBuilder("mibench/fft")
+
+    # Bit-reversal permutation: paired swap loads/stores.
+    for i in range(size):
+        j = int(f"{i:0{stages}b}"[::-1], 2)
+        if j > i:
+            for arr in (real, imag):
+                builder.load(arr.addr(i))
+                builder.load(arr.addr(j))
+                builder.store(arr.addr(i))
+                builder.store(arr.addr(j))
+            builder.alu(4)
+        if i % 16 == 0:
+            code.run(builder, "bit_reverse")
+
+    # Butterfly stages with per-butterfly twiddle computation.
+    half = 1
+    while half < size:
+        code.run(builder, "stage_loop")
+        for start in range(0, size, 2 * half):
+            for k in range(half):
+                i = start + k
+                j = i + half
+                code.run(builder, "butterfly")
+                code.run(builder, "libm_sin")
+                code.run(builder, "libm_cos")
+                # The libm argument-reduction tables.
+                builder.load(sin_lut.addr((k * 7) % 256))
+                builder.load(sin_lut.addr((k * 7 + 64) % 256))
+                builder.load(real.addr(j))
+                builder.load(imag.addr(j))
+                builder.load(real.addr(i))
+                builder.load(imag.addr(i))
+                builder.store(real.addr(j))
+                builder.store(imag.addr(j))
+                builder.store(real.addr(i))
+                builder.store(imag.addr(i))
+                builder.alu(10)  # complex multiply-add
+        half *= 2
+
+    return WorkloadRun(builder, {"size": size})

@@ -1,0 +1,162 @@
+"""MediaBench ``jpeg`` encoder and decoder (DCT block codec).
+
+Memory behaviour: 8x8 blocks gathered/scattered from a row-major image
+whose row pitch is power-of-two padded (the classic stride conflict),
+plus the quantization table, zigzag order table, and the entropy
+buffer.  The decoder adds the IDCT's transpose-order accesses and a
+clamp lookup table.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.cpu import CodeImage, TraceBuilder, WorkloadRun
+from repro.workloads.layout import MemoryLayout
+
+_SCALES = {"tiny": 32, "small": 64, "default": 128, "large": 256}
+
+
+def _image_setup(name: str, width: int, height: int):
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    # Hot path per 8x8 block: ~680 instructions (2.7 KB) — thrashes a
+    # 1 KB I-cache.  The huffman coder is placed to alias the row DCT
+    # modulo 4 KB (removable conflicts at 4 KB) and a small memcpy
+    # aliases the gather modulo 16 KB (small removable tail at 16 KB).
+    code.block("block_loop", 8)          # ends at +128
+    code.block("gather", 24)
+    code.block("dct_rows", 80, padding=2048)   # at 2176 (mod 4096)
+    code.block("dct_cols", 80, padding=512)
+    code.block("quant_zigzag", 48, padding=1024)
+    code.block("entropy", 200, padding=1728)   # at 6272 = 2176 mod 4096
+    code.block("memcpy", 48, padding=9344)     # at 16416 = 32 mod 16384
+
+    row_pitch = width  # bytes; width is a power of two already
+    image = layout.alloc(
+        "image", height * row_pitch, segment="heap", align=4096, element_size=1
+    )
+    coeffs = layout.alloc("coeffs", 64 * 4, align=256)
+    qtable = layout.alloc("qtable", 64 * 4, align=256)
+    zigzag = layout.alloc("zigzag", 64 * 4, align=256)
+    # Entropy-coded output is ~4x smaller than the pixels (12 bytes per
+    # 8x8 block at the access pattern below).
+    entropy = layout.alloc(
+        "entropy_buf",
+        max(width * height // 4, 1024),
+        segment="heap",
+        align=4096,
+        element_size=1,
+    )
+    return layout, code, image, coeffs, qtable, zigzag, entropy, row_pitch
+
+
+def run_encoder(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    size = _SCALES[scale]
+    width = height = size
+    (
+        __,
+        code,
+        image,
+        coeffs,
+        qtable,
+        zigzag,
+        entropy,
+        row_pitch,
+    ) = _image_setup("mibench/jpeg_enc", width, height)
+
+    builder = TraceBuilder("mibench/jpeg_enc")
+    out_cursor = 0
+    for by in range(0, height, 8):
+        for bx in range(0, width, 8):
+            code.run(builder, "block_loop")
+            code.run(builder, "gather")
+            code.run(builder, "memcpy")
+            # Gather the 8x8 block: strided row loads.
+            for r in range(8):
+                for c in range(0, 8, 4):  # word-wide loads of 4 pixels
+                    builder.load(image.byte((by + r) * row_pitch + bx + c))
+                builder.store(coeffs.addr(r * 8 % 64))
+            builder.alu(16)
+            # Row then column DCT over the workspace.
+            code.run(builder, "dct_rows")
+            for r in range(8):
+                for c in range(8):
+                    builder.load(coeffs.addr(r * 8 + c))
+                builder.store(coeffs.addr(r * 8))
+                builder.alu(12)
+            code.run(builder, "dct_cols")
+            for c in range(8):
+                for r in range(8):
+                    builder.load(coeffs.addr(r * 8 + c))
+                builder.store(coeffs.addr(c))
+                builder.alu(12)
+            # Quantize + zigzag.
+            code.run(builder, "quant_zigzag")
+            for k in range(64):
+                builder.load(zigzag.addr(k))
+                builder.load(coeffs.addr(k))
+                builder.load(qtable.addr(k))
+                builder.alu(3)
+            # Entropy output: sequential byte stores.
+            code.run(builder, "entropy")
+            for __ in range(12):
+                builder.store(entropy.byte(out_cursor % entropy.size))
+                out_cursor += 1
+            builder.alu(24)
+
+    return WorkloadRun(builder, {"width": width, "height": height})
+
+
+def run_decoder(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    size = _SCALES[scale]
+    width = height = size
+    (
+        layout,
+        code,
+        image,
+        coeffs,
+        qtable,
+        zigzag,
+        entropy,
+        row_pitch,
+    ) = _image_setup("mibench/jpeg_dec", width, height)
+    clamp = layout.alloc("clamp", 1024, align=1024, element_size=1)
+
+    builder = TraceBuilder("mibench/jpeg_dec")
+    in_cursor = 0
+    for by in range(0, height, 8):
+        for bx in range(0, width, 8):
+            code.run(builder, "block_loop")
+            code.run(builder, "gather")
+            code.run(builder, "memcpy")
+            # Entropy decode: sequential byte loads.
+            code.run(builder, "entropy")
+            for __ in range(12):
+                builder.load(entropy.byte(in_cursor % entropy.size))
+                in_cursor += 1
+            builder.alu(24)
+            # Dequantize along zigzag order.
+            code.run(builder, "quant_zigzag")
+            for k in range(64):
+                builder.load(zigzag.addr(k))
+                builder.load(qtable.addr(k))
+                builder.store(coeffs.addr(k))
+                builder.alu(3)
+            # IDCT: columns then rows.
+            code.run(builder, "dct_cols")
+            for c in range(8):
+                for r in range(8):
+                    builder.load(coeffs.addr(r * 8 + c))
+                builder.store(coeffs.addr(c))
+                builder.alu(12)
+            code.run(builder, "dct_rows")
+            for r in range(8):
+                for c in range(8):
+                    builder.load(coeffs.addr(r * 8 + c))
+                builder.alu(12)
+                # Clamp to 0..255 through the range-limit table, then
+                # scatter the row into the image.
+                builder.load(clamp.byte((r * 8 + c) % clamp.size))
+                if c % 4 == 3:
+                    builder.store(image.byte((by + r) * row_pitch + bx + c - 3))
+
+    return WorkloadRun(builder, {"width": width, "height": height})

@@ -1,0 +1,77 @@
+"""MediaBench/MiBench ``lame``: MP3 encoding front end.
+
+Memory behaviour: the polyphase filterbank dominates — per output
+granule a 512-tap window (coefficient table) is dotted against a ring
+buffer of recent PCM samples, then 576 subband samples go through an
+MDCT with its own coefficient tables and a psychoacoustic threshold
+table lookup.  Large coefficient tables at power-of-two bases compete
+with the ring buffer.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.cpu import CodeImage, TraceBuilder, WorkloadRun
+from repro.workloads.layout import MemoryLayout
+
+_SCALES = {"tiny": 2, "small": 4, "default": 10, "large": 24}
+
+_WINDOW_TAPS = 512
+_SUBBANDS = 32
+_GRANULE = 576
+
+
+def run(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    frames = _SCALES[scale]
+
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    # Three large DSP stages: the MDCT partially aliases the polyphase
+    # filter modulo 4 KB, and the psychoacoustic model sits exactly
+    # 16 KB after the polyphase code (aliasing at both 4 KB and 16 KB).
+    # The combined hot path (~2.8 KB) thrashes a 1 KB cache.
+    code.block("frame_loop", 12)
+    code.block("polyphase", 280, padding=2000)  # at +2048, 1120 B > 1 KB
+    code.block("mdct", 280, padding=3376)       # at +6544 = 2448 mod 4096
+    code.block("psycho", 240, padding=10768)    # at +18432 = 2048 mod 16384
+
+    window = layout.alloc("window", _WINDOW_TAPS * 4, align=2048)
+    pcm_ring = layout.alloc("pcm_ring", _WINDOW_TAPS * 4, segment="heap", align=2048)
+    subband = layout.alloc("subband", _GRANULE * 4, align=4096)
+    mdct_coef = layout.alloc("mdct_coef", 36 * 18 * 4, align=2048)
+    mdct_out = layout.alloc("mdct_out", _GRANULE * 4, align=4096)
+    threshold = layout.alloc("threshold", 64 * 4, align=256)
+
+    builder = TraceBuilder("mibench/lame")
+    ring_pos = 0
+    for frame in range(frames):
+        code.run(builder, "frame_loop")
+        for granule_slot in range(_GRANULE // _SUBBANDS):
+            # Shift 32 new samples into the ring.
+            for s in range(_SUBBANDS):
+                builder.store(pcm_ring.addr((ring_pos + s) % _WINDOW_TAPS))
+            ring_pos = (ring_pos + _SUBBANDS) % _WINDOW_TAPS
+            builder.alu(_SUBBANDS)
+            # Polyphase: window x ring dot products, 64-sample stride 8.
+            code.run(builder, "polyphase")
+            for sb in range(_SUBBANDS):
+                for tap in range(0, _WINDOW_TAPS, 32):
+                    builder.load(window.addr(tap + sb % 32))
+                    builder.load(pcm_ring.addr((ring_pos + tap + sb) % _WINDOW_TAPS))
+                    builder.alu(2)
+                builder.store(subband.addr(granule_slot * _SUBBANDS + sb))
+        # MDCT over the granule.
+        code.run(builder, "mdct")
+        for sb in range(_SUBBANDS):
+            for k in range(18):
+                builder.load(subband.addr(sb * 18 % _GRANULE + k))
+                builder.load(mdct_coef.addr((sb % 36) * 18 + k))
+                builder.alu(2)
+            builder.store(mdct_out.addr(sb * 18))
+        # Psychoacoustic model: threshold lookups over the spectrum.
+        code.run(builder, "psycho")
+        for k in range(0, _GRANULE, 8):
+            builder.load(mdct_out.addr(k))
+            builder.load(threshold.addr((k // 8) % 64))
+            builder.alu(3)
+
+    return WorkloadRun(builder, {"frames": frames})

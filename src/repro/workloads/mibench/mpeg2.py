@@ -1,0 +1,72 @@
+"""MediaBench ``mpeg2 dec``: MPEG-2 video decoding (motion compensation).
+
+Memory behaviour: per 16x16 macroblock the decoder copies a motion-
+compensated prediction from the reference frame (two-dimensional
+strided loads at the frame pitch, offset by a motion vector), adds the
+IDCT residual from the coefficient buffer and stores to the current
+frame.  Two large equal-pitched frames plus the residual buffer are the
+conflict triangle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.cpu import CodeImage, TraceBuilder, WorkloadRun
+from repro.workloads.layout import MemoryLayout
+
+_SCALES = {"tiny": (48, 32, 2), "small": (80, 48, 3), "default": (176, 144, 4), "large": (240, 192, 4)}
+
+
+def run(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    width, height, frames = _SCALES[scale]
+    rng = np.random.default_rng(seed)
+
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    # Per-macroblock path ~630 instructions (2.5 KB): thrashes 1 KB.
+    # The IDCT/add stage aliases the motion-compensation code modulo
+    # 4 KB (the dominant, removable 4 KB conflicts), and the VLC
+    # decoder aliases the macroblock dispatch modulo 16 KB.
+    code.block("mb_loop", 10)            # at +0
+    code.block("vlc_decode", 180)        # at +40
+    code.block("motion_comp", 200, padding=1288)  # at +2048
+    code.block("idct_add", 240, padding=3296)     # at +6144 = 2048 mod 4096
+    code.block("idle_tail", 12, padding=9280)     # at +16384 = 0 mod 16384
+
+    pitch = 1 << (width - 1).bit_length()
+    ref_frame = layout.alloc(
+        "ref_frame", height * pitch, segment="heap", align=8192, element_size=1
+    )
+    cur_frame = layout.alloc(
+        "cur_frame", height * pitch, segment="heap", align=8192, element_size=1
+    )
+    residual = layout.alloc("residual", 256 * 4, align=1024)
+
+    builder = TraceBuilder("mibench/mpeg2_dec")
+    for frame in range(frames):
+        for mby in range(0, height - 16 + 1, 16):
+            for mbx in range(0, width - 16 + 1, 16):
+                code.run(builder, "mb_loop")
+                code.run(builder, "vlc_decode")
+                code.run(builder, "idle_tail")
+                mvx = int(rng.integers(-8, 9))
+                mvy = int(rng.integers(-8, 9))
+                sx = min(max(mbx + mvx, 0), width - 16)
+                sy = min(max(mby + mvy, 0), height - 16)
+                # Motion compensation: copy 16 rows of 16 bytes (word loads).
+                code.run(builder, "motion_comp")
+                for r in range(16):
+                    for c in range(0, 16, 4):
+                        builder.load(ref_frame.byte((sy + r) * pitch + sx + c))
+                    builder.alu(4)
+                # Residual add + store.
+                code.run(builder, "idct_add")
+                for r in range(16):
+                    for c in range(0, 16, 4):
+                        builder.load(residual.addr((r * 16 + c) % 256))
+                        builder.store(cur_frame.byte((mby + r) * pitch + mbx + c))
+                    builder.alu(8)
+        ref_frame, cur_frame = cur_frame, ref_frame
+
+    return WorkloadRun(builder, {"width": width, "height": height, "frames": frames})

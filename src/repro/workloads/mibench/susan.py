@@ -1,0 +1,67 @@
+"""MiBench ``susan``: image smoothing (the SUSAN low-level vision kernel).
+
+Memory behaviour: a sliding circular 37-pixel mask over a byte image
+(neighbourhood loads spanning several image rows at the row pitch) plus
+the 516-entry brightness LUT hit once per neighbour.  Row-pitch strides
+and LUT reuse give a mix of spatial streaming and conflicting rows.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.cpu import CodeImage, TraceBuilder, WorkloadRun
+from repro.workloads.layout import MemoryLayout
+
+_SCALES = {"tiny": 24, "small": 48, "default": 96, "large": 192}
+
+# Offsets of the circular SUSAN mask (rows -3..3).
+_MASK_ROWS = [
+    (-3, (-1, 0, 1)),
+    (-2, (-2, -1, 0, 1, 2)),
+    (-1, (-3, -2, -1, 0, 1, 2, 3)),
+    (0, (-3, -2, -1, 0, 1, 2, 3)),
+    (1, (-3, -2, -1, 0, 1, 2, 3)),
+    (2, (-2, -1, 0, 1, 2)),
+    (3, (-1, 0, 1)),
+]
+
+
+def run(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    size = _SCALES[scale]
+    width = height = size
+
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    # Per-pixel path ~296 instructions (1.2 KB): thrashes a 1 KB cache.
+    # The USAN response function aliases the mask-row code modulo 4 KB
+    # (removable conflicts at 4 KB); everything fits at 16 KB.
+    code.block("pixel_loop", 10)
+    code.block("mask_row", 14)
+    code.block("usan_fn", 180, padding=4040)  # at 4136 = 40 mod 4096
+    code.block("writeback", 8)
+
+    row_pitch = 1 << (width - 1).bit_length()  # padded power-of-two pitch
+    image = layout.alloc(
+        "image", height * row_pitch, segment="heap", align=4096, element_size=1
+    )
+    output = layout.alloc(
+        "output", height * row_pitch, segment="heap", align=4096, element_size=1
+    )
+    lut = layout.alloc("brightness_lut", 516, align=512, element_size=1)
+
+    builder = TraceBuilder("mibench/susan")
+    for y in range(3, height - 3):
+        for x in range(3, width - 3):
+            code.run(builder, "pixel_loop")
+            builder.load(image.byte(y * row_pitch + x))  # centre pixel
+            for dy, cols in _MASK_ROWS:
+                code.run(builder, "mask_row")
+                for dx in cols:
+                    builder.load(image.byte((y + dy) * row_pitch + (x + dx)))
+                    builder.load(lut.byte(258 + (dx * 37 + dy * 11) % 250))
+                    builder.alu(2)
+            code.run(builder, "usan_fn")
+            code.run(builder, "writeback")
+            builder.store(output.byte(y * row_pitch + x))
+            builder.alu(4)
+
+    return WorkloadRun(builder, {"width": width, "height": height})

@@ -1,0 +1,46 @@
+"""PowerStone ``blit``: rectangular bit-block transfer between bitmaps.
+
+Memory behaviour: row-by-row word copies between a source and a
+destination bitmap with equal power-of-two pitches — source and
+destination rows alias under modulo indexing, which is why Table 3
+shows blit gaining 14.3% from XOR functions while bit selection alone
+reaches only 8.6%.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.cpu import CodeImage, TraceBuilder, WorkloadRun
+from repro.workloads.layout import MemoryLayout
+
+_SCALES = {"tiny": (64, 8), "small": (128, 12), "default": (256, 16), "large": (256, 24)}
+
+
+def run(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    pitch_words, rects = _SCALES[scale]
+    rows = 32
+    pitch = pitch_words * 4
+
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    code.block("rect_loop", 8)
+    code.block("row_copy", 10, padding=512)
+
+    src = layout.alloc("src_bitmap", rows * pitch, segment="heap", align=pitch * 4)
+    dst = layout.alloc("dst_bitmap", rows * pitch, segment="heap", align=pitch * 4)
+
+    builder = TraceBuilder("powerstone/blit")
+    rect_w = pitch_words // 2
+    rect_h = rows // 2
+    for r in range(rects):
+        code.run(builder, "rect_loop")
+        sx = (r * 3) % (pitch_words - rect_w)
+        dx = (r * 5) % (pitch_words - rect_w)
+        sy = (r * 7) % (rows - rect_h)
+        dy = (r * 11) % (rows - rect_h)
+        for row in range(rect_h):
+            code.run(builder, "row_copy")
+            for w in range(rect_w):
+                builder.load(src.byte((sy + row) * pitch + (sx + w) * 4))
+                builder.store(dst.byte((dy + row) * pitch + (dx + w) * 4))
+            builder.alu(rect_w)
+    return WorkloadRun(builder, {"pitch_words": pitch_words, "rects": rects})

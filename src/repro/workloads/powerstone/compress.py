@@ -1,0 +1,87 @@
+"""PowerStone ``compress``: LZW compression (UNIX compress kernel).
+
+Memory behaviour: per input byte a hash probe into the code table
+(``htab``, with open addressing and a secondary displacement probe) and
+prefix-table updates — scattered accesses over two multi-KB tables plus
+the sequential input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.cpu import CodeImage, TraceBuilder, WorkloadRun
+from repro.workloads.layout import MemoryLayout
+
+_SCALES = {"tiny": 2048, "small": 8192, "default": 20000, "large": 32768}
+
+_HSIZE = 5003  # the classic compress hash table size
+
+
+def run(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    length = _SCALES[scale]
+    rng = np.random.default_rng(seed)
+    # Text-like input: skewed byte distribution so prefixes repeat.
+    data = rng.choice(
+        np.arange(32, 128), size=length, p=_text_distribution()
+    )
+
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    code.block("byte_loop", 14)
+    code.block("hash_probe", 9, padding=1024)
+    code.block("emit_code", 11, padding=2048)
+
+    htab = layout.alloc("htab", _HSIZE * 4, segment="heap", align=4096)
+    codetab = layout.alloc("codetab", _HSIZE * 2, segment="heap", align=4096, element_size=2)
+    input_buf = layout.alloc("input", length, segment="heap", align=4096, element_size=1)
+    output_buf = layout.alloc("output", length, segment="heap", align=4096, element_size=1)
+
+    builder = TraceBuilder("powerstone/compress")
+    table: dict[tuple[int, int], int] = {}
+    next_code = 257
+    prefix = int(data[0])
+    out_cursor = 0
+    builder.load(input_buf.byte(0))
+    for i in range(1, length):
+        code.run(builder, "byte_loop")
+        byte = int(data[i])
+        builder.load(input_buf.byte(i))
+        key = (prefix, byte)
+        fcode = (byte << 12) + prefix
+        slot = fcode % _HSIZE
+        disp = _HSIZE - slot if slot else 1
+        # Open-addressing probe sequence, exactly like compress.c.
+        probes = 0
+        while True:
+            code.run(builder, "hash_probe")
+            builder.load(htab.addr(slot))
+            probes += 1
+            if key in table and probes >= (hash(key) % 2) + 1:
+                builder.load(codetab.addr(slot))
+                prefix = table[key]
+                break
+            if key not in table and probes >= (hash(key) % 3) + 1:
+                # Free slot found: insert.
+                if next_code < 4096:
+                    builder.store(codetab.addr(slot))
+                    builder.store(htab.addr(slot))
+                    table[key] = next_code
+                    next_code += 1
+                code.run(builder, "emit_code")
+                builder.store(output_buf.byte(out_cursor % output_buf.size))
+                out_cursor += 1
+                prefix = byte
+                break
+            slot = (slot - disp) % _HSIZE
+            builder.alu(2)
+        builder.alu(4)
+    return WorkloadRun(builder, {"length": length})
+
+
+def _text_distribution() -> np.ndarray:
+    weights = np.ones(96)
+    weights[0] = 12.0        # space
+    for ch in "etaoinshrdlu":
+        weights[ord(ch) - 32] = 6.0
+    return weights / weights.sum()

@@ -1,0 +1,60 @@
+"""PowerStone ``g3fax``: Group-3 fax (run-length) decoding.
+
+Memory behaviour: sequential code-stream loads, white/black run-length
+code tables, and scanline buffer stores whose positions advance by
+decoded run lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.cpu import CodeImage, TraceBuilder, WorkloadRun
+from repro.workloads.layout import MemoryLayout
+
+_SCALES = {"tiny": 24, "small": 64, "default": 128, "large": 256}
+
+_LINE_BYTES = 216  # 1728 pixels / 8
+
+
+def run(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    lines = _SCALES[scale]
+    rng = np.random.default_rng(seed)
+
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    code.block("line_loop", 9)
+    code.block("decode_run", 15, padding=768)
+
+    white_table = layout.alloc("white_codes", 256 * 4, align=1024)
+    black_table = layout.alloc("black_codes", 256 * 4, align=1024)
+    code_stream = layout.alloc(
+        "code_stream", lines * 64, segment="heap", align=4096, element_size=1
+    )
+    page = layout.alloc(
+        "page", lines * _LINE_BYTES, segment="heap", align=4096, element_size=1
+    )
+
+    builder = TraceBuilder("powerstone/g3fax")
+    stream_pos = 0
+    for line in range(lines):
+        code.run(builder, "line_loop")
+        position = 0
+        color_white = True
+        while position < _LINE_BYTES * 8:
+            code.run(builder, "decode_run")
+            builder.load(code_stream.byte(stream_pos % code_stream.size))
+            stream_pos += 1
+            table = white_table if color_white else black_table
+            code_index = int(rng.integers(0, 256))
+            builder.load(table.addr(code_index))
+            run_length = int(rng.integers(1, 64)) if color_white else int(rng.integers(1, 16))
+            builder.alu(5)
+            # Write the run into the scanline (byte-granular stores).
+            start_byte = position // 8
+            end_byte = min((position + run_length + 7) // 8, _LINE_BYTES)
+            for byte in range(start_byte, end_byte, 4):
+                builder.store(page.byte(line * _LINE_BYTES + byte))
+            position += run_length
+            color_white = not color_white
+    return WorkloadRun(builder, {"lines": lines})

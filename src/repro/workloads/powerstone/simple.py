@@ -1,0 +1,165 @@
+"""Small PowerStone kernels: bcnt, crc, fir, qurt, engine, pocsag.
+
+PowerStone programs are short (the paper uses them precisely because
+exhaustive optimal search is affordable on them); these kernels keep
+traces in the tens of thousands of references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.cpu import CodeImage, TraceBuilder, WorkloadRun
+from repro.workloads.layout import MemoryLayout
+
+_SCALES = {"tiny": 0.25, "small": 0.5, "default": 1.0, "large": 2.0}
+
+
+def _scaled(scale: str, base: int) -> int:
+    return max(int(base * _SCALES[scale]), 8)
+
+
+def run_bcnt(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    """Bit counting over a buffer through a 256-entry nibble/byte LUT."""
+    words = _scaled(scale, 4096)
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    code.block("count_loop", 12)
+    buffer = layout.alloc("buffer", words * 4, segment="heap", align=4096)
+    lut = layout.alloc("bits_lut", 256, align=256, element_size=1)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 32, size=words, dtype=np.uint64)
+    builder = TraceBuilder("powerstone/bcnt")
+    for i in range(words):
+        builder.load(buffer.addr(i))
+        word = int(data[i])
+        for shift in (0, 8, 16, 24):
+            builder.load(lut.byte((word >> shift) & 0xFF))
+        builder.alu(6)
+        if i % 4 == 0:
+            code.run(builder, "count_loop")
+    return WorkloadRun(builder, {"words": words})
+
+
+def run_crc(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    """Table-driven CRC-32 over a byte stream."""
+    length = _scaled(scale, 16384)
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    code.block("crc_loop", 8)
+    table = layout.alloc("crc_table", 256 * 4, align=1024)
+    message = layout.alloc(
+        "message", length, segment="heap", align=4096, element_size=1
+    )
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=length)
+    crc = 0xFFFFFFFF
+    builder = TraceBuilder("powerstone/crc")
+    for i in range(length):
+        builder.load(message.byte(i))
+        crc = ((crc >> 8) ^ int(data[i]) * 0x01000193) & 0xFFFFFFFF
+        builder.load(table.addr(crc & 0xFF))
+        builder.alu(3)
+        if i % 8 == 0:
+            code.run(builder, "crc_loop")
+    return WorkloadRun(builder, {"length": length})
+
+
+def run_fir(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    """35-tap FIR filter: coefficient array dotted with a sliding window."""
+    outputs = _scaled(scale, 1024)
+    taps = 35
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    code.block("output_loop", 6)
+    code.block("mac", 5, padding=256)
+    coeffs = layout.alloc("coeffs", taps * 4, align=256)
+    samples = layout.alloc(
+        "samples", (outputs + taps) * 4, segment="heap", align=4096
+    )
+    result = layout.alloc("result", outputs * 4, segment="heap", align=4096)
+    builder = TraceBuilder("powerstone/fir")
+    for i in range(outputs):
+        code.run(builder, "output_loop")
+        for t in range(taps):
+            builder.load(coeffs.addr(t))
+            builder.load(samples.addr(i + t))
+            builder.alu(2)
+        code.run(builder, "mac", times=taps // 8)
+        builder.store(result.addr(i))
+    return WorkloadRun(builder, {"outputs": outputs, "taps": taps})
+
+
+def run_qurt(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    """Quadratic-root computation: almost no memory traffic.
+
+    Table 3 reports 0.0 for qurt in every column — the program's
+    working set is a handful of stack slots.
+    """
+    iterations = _scaled(scale, 512)
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    code.block("qurt_fn", 42)
+    frame = layout.alloc_stack("frame", 64)
+    builder = TraceBuilder("powerstone/qurt")
+    for i in range(iterations):
+        code.run(builder, "qurt_fn")
+        for slot in (0, 1, 2, 3):  # a, b, c, discriminant
+            builder.load(frame.addr(slot))
+        builder.alu(20)  # sqrt iteration
+        builder.store(frame.addr(4))
+        builder.store(frame.addr(5))
+    return WorkloadRun(builder, {"iterations": iterations})
+
+
+def run_engine(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    """Engine controller: sensor ring buffer + 2-D map interpolation."""
+    cycles = _scaled(scale, 2048)
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    code.block("control_loop", 16)
+    code.block("interp", 14, padding=1024)
+    sensors = layout.alloc("sensors", 64 * 4, align=256)
+    fuel_map = layout.alloc("fuel_map", 16 * 16 * 4, align=1024)
+    spark_map = layout.alloc("spark_map", 16 * 16 * 4, align=1024)
+    state = layout.alloc("state", 32 * 4, align=128)
+    rng = np.random.default_rng(seed)
+    rpm_idx = rng.integers(0, 15, size=cycles)
+    load_idx = rng.integers(0, 15, size=cycles)
+    builder = TraceBuilder("powerstone/engine")
+    for i in range(cycles):
+        code.run(builder, "control_loop")
+        builder.load(sensors.addr(i % 64))
+        builder.load(sensors.addr((i + 1) % 64))
+        r, l = int(rpm_idx[i]), int(load_idx[i])
+        code.run(builder, "interp")
+        for table in (fuel_map, spark_map):
+            for dr in (0, 1):
+                for dl in (0, 1):
+                    builder.load(table.addr((r + dr) * 16 + (l + dl)))
+            builder.alu(6)
+        builder.store(state.addr(i % 32))
+        builder.alu(4)
+    return WorkloadRun(builder, {"cycles": cycles})
+
+
+def run_pocsag(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    """POCSAG pager-protocol decoding: BCH syndrome table + message buffer."""
+    codewords = _scaled(scale, 2048)
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    code.block("decode_loop", 18)
+    syndrome = layout.alloc("syndrome_table", 1024 * 4, align=4096)
+    message = layout.alloc("message", codewords * 4, segment="heap", align=4096)
+    output = layout.alloc("output", codewords, segment="heap", align=1024, element_size=1)
+    rng = np.random.default_rng(seed)
+    words = rng.integers(0, 1024, size=codewords)
+    builder = TraceBuilder("powerstone/pocsag")
+    for i in range(codewords):
+        code.run(builder, "decode_loop")
+        builder.load(message.addr(i))
+        builder.load(syndrome.addr(int(words[i])))
+        builder.alu(8)  # parity check, error correction
+        if i % 2 == 0:
+            builder.store(output.byte(i % output.size))
+    return WorkloadRun(builder, {"codewords": codewords})

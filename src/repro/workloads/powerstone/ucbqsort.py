@@ -1,0 +1,82 @@
+"""PowerStone ``ucbqsort``: the BSD quicksort.
+
+Memory behaviour: partition passes scan the array from both ends with
+swaps, recursion revisits progressively smaller subranges, and small
+ranges fall back to insertion sort — high reuse at power-of-two array
+offsets.  Table 3's biggest winner (46.6% of misses removed even by
+bit selection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.cpu import CodeImage, TraceBuilder, WorkloadRun
+from repro.workloads.layout import MemoryLayout
+
+_SCALES = {"tiny": 256, "small": 1024, "default": 4096, "large": 16384}
+
+_INSERTION_THRESHOLD = 8
+
+
+def run(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    count = _SCALES[scale]
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 1 << 30, size=count).astype(np.int64)
+
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    code.block("qsort_fn", 20)
+    code.block("partition", 14, padding=512)
+    code.block("insertion", 12, padding=1024)
+
+    array = layout.alloc("array", count * 4, segment="heap", align=4096)
+    builder = TraceBuilder("powerstone/ucbqsort")
+
+    def load(i: int) -> int:
+        builder.load(array.addr(i))
+        return int(values[i])
+
+    def store(i: int, v: int) -> None:
+        builder.store(array.addr(i))
+        values[i] = v
+
+    stack = [(0, count - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < _INSERTION_THRESHOLD:
+            code.run(builder, "insertion")
+            for i in range(lo + 1, hi + 1):
+                key = load(i)
+                j = i - 1
+                while j >= lo and load(j) > key:
+                    store(j + 1, int(values[j]))
+                    j -= 1
+                store(j + 1, key)
+                builder.alu(2)
+            continue
+        code.run(builder, "qsort_fn")
+        mid = (lo + hi) // 2
+        pivot = sorted((load(lo), load(mid), load(hi)))[1]  # median of three
+        builder.alu(6)
+        i, j = lo, hi
+        code.run(builder, "partition")
+        while i <= j:
+            while load(i) < pivot:
+                i += 1
+                builder.alu(1)
+            while load(j) > pivot:
+                j -= 1
+                builder.alu(1)
+            if i <= j:
+                vi, vj = int(values[i]), int(values[j])
+                store(i, vj)
+                store(j, vi)
+                i += 1
+                j -= 1
+        if lo < j:
+            stack.append((lo, j))
+        if i < hi:
+            stack.append((i, hi))
+    assert all(values[i] <= values[i + 1] for i in range(count - 1))
+    return WorkloadRun(builder, {"count": count})

@@ -1,0 +1,76 @@
+"""PowerStone ``v42``: V.42bis modem dictionary compression.
+
+Memory behaviour: a trie stored as parallel arrays (parent, character,
+first-child, sibling); per input byte the kernel follows child/sibling
+chains — pointer-chasing over a multi-KB node pool — and inserts new
+nodes, mixed with the sequential input stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.cpu import CodeImage, TraceBuilder, WorkloadRun
+from repro.workloads.layout import MemoryLayout
+
+_SCALES = {"tiny": 2048, "small": 8192, "default": 20000, "large": 65536}
+
+_MAX_NODES = 4096
+
+
+def run(scale: str = "default", seed: int = 0) -> WorkloadRun:
+    length = _SCALES[scale]
+    rng = np.random.default_rng(seed)
+    data = rng.choice(np.arange(64), size=length, p=_skewed(64))
+
+    layout = MemoryLayout()
+    code = CodeImage(layout)
+    code.block("byte_loop", 12)
+    code.block("walk_children", 8, padding=896)
+    code.block("insert_node", 13, padding=1792)
+
+    char_tab = layout.alloc("char_tab", _MAX_NODES, segment="heap", align=4096, element_size=1)
+    child_tab = layout.alloc("child_tab", _MAX_NODES * 2, segment="heap", align=4096, element_size=2)
+    sibling_tab = layout.alloc("sibling_tab", _MAX_NODES * 2, segment="heap", align=4096, element_size=2)
+    input_buf = layout.alloc("input", length, segment="heap", align=4096, element_size=1)
+
+    # Trie state: node 0 = root; children stored as linked lists.
+    children: dict[int, dict[int, int]] = {0: {}}
+    next_node = 1
+
+    builder = TraceBuilder("powerstone/v42")
+    current = 0
+    for i in range(length):
+        code.run(builder, "byte_loop")
+        byte = int(data[i])
+        builder.load(input_buf.byte(i))
+        # Walk the child list of `current` looking for `byte`.
+        builder.load(child_tab.addr(current))
+        kids = children.setdefault(current, {})
+        for walked, (ch, node) in enumerate(kids.items()):
+            code.run(builder, "walk_children")
+            builder.load(char_tab.byte(node))
+            builder.load(sibling_tab.addr(node))
+            builder.alu(2)
+            if ch == byte:
+                break
+        if byte in kids:
+            current = kids[byte]
+        else:
+            if next_node < _MAX_NODES:
+                code.run(builder, "insert_node")
+                node = next_node
+                next_node += 1
+                kids[byte] = node
+                children[node] = {}
+                builder.store(char_tab.byte(node))
+                builder.store(child_tab.addr(node))
+                builder.store(sibling_tab.addr(node))
+            current = 0
+        builder.alu(3)
+    return WorkloadRun(builder, {"length": length, "nodes": next_node})
+
+
+def _skewed(n: int) -> np.ndarray:
+    weights = 1.0 / (np.arange(n) + 3.0)
+    return weights / weights.sum()

@@ -1,0 +1,62 @@
+"""Tests for cache geometry."""
+
+import pytest
+
+from repro.cache.geometry import PAPER_GEOMETRIES, CacheGeometry
+
+
+class TestDerivedValues:
+    def test_paper_1kb(self):
+        g = CacheGeometry.direct_mapped(1024)
+        assert g.num_blocks == 256
+        assert g.num_sets == 256
+        assert g.index_bits == 8
+        assert g.offset_bits == 2
+
+    def test_paper_configs_match_table1(self):
+        assert PAPER_GEOMETRIES["1KB"].index_bits == 8
+        assert PAPER_GEOMETRIES["4KB"].index_bits == 10
+        assert PAPER_GEOMETRIES["16KB"].index_bits == 12
+
+    def test_set_associative(self):
+        g = CacheGeometry(4096, block_size=16, associativity=4)
+        assert g.num_blocks == 256
+        assert g.num_sets == 64
+        assert g.index_bits == 6
+        assert not g.is_direct_mapped
+
+    def test_fully_associative(self):
+        g = CacheGeometry.fully_associative(1024)
+        assert g.num_sets == 1
+        assert g.index_bits == 0
+        assert g.is_fully_associative
+
+    def test_block_address(self):
+        g = CacheGeometry.direct_mapped(1024, block_size=16)
+        assert g.block_address(0x123) == 0x12
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1000)
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, block_size=3)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, associativity=0)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(4096, block_size=4, associativity=3)
+
+
+class TestFormatting:
+    def test_str_direct_mapped(self):
+        assert "direct mapped" in str(CacheGeometry.direct_mapped(1024))
+
+    def test_str_fully_associative(self):
+        assert "fully associative" in str(CacheGeometry.fully_associative(1024))

@@ -1,0 +1,65 @@
+"""Tests for indexing policies, including the bijectivity requirement."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.cache.indexing import BitSelectIndexing, ModuloIndexing, XorIndexing
+from repro.gf2.hashfn import XorHashFunction
+from tests.conftest import hash_functions
+
+
+class TestModulo:
+    def test_split(self):
+        pol = ModuloIndexing(8)
+        assert pol.set_index(0x1FF) == 0xFF
+        assert pol.tag(0x1FF) == 1
+        assert pol.num_sets == 256
+
+    def test_arrays_match_scalar(self):
+        pol = ModuloIndexing(6)
+        blocks = np.arange(500, dtype=np.uint64) * 7
+        idx, tags = pol.split_array(blocks)
+        for b, i, t in zip(blocks, idx, tags):
+            assert pol.set_index(int(b)) == int(i)
+            assert pol.tag(int(b)) == int(t)
+
+
+class TestXorIndexing:
+    def test_rejects_rank_deficient(self):
+        fn = XorHashFunction(8, [0b1, 0b1])
+        with pytest.raises(ValueError):
+            XorIndexing(fn)
+
+    def test_modulo_equivalence(self):
+        """XOR indexing with the modulo matrix equals ModuloIndexing."""
+        xor = XorIndexing(XorHashFunction.modulo(16, 8))
+        mod = ModuloIndexing(8)
+        blocks = np.arange(2000, dtype=np.uint64) * 13
+        assert (xor.set_index_array(blocks) == mod.set_index_array(blocks)).all()
+        assert (xor.tag_array(blocks) == mod.tag_array(blocks)).all()
+
+    @given(hash_functions(n=10))
+    def test_index_tag_bijective_on_blocks(self, fn):
+        """No two distinct blocks may share (set, tag) — paper Sec. 4."""
+        pol = XorIndexing(fn)
+        blocks = np.arange(1 << fn.n, dtype=np.uint64)
+        idx, tags = pol.split_array(blocks)
+        pairs = set(zip(idx.tolist(), tags.tolist()))
+        assert len(pairs) == len(blocks)
+
+    def test_arrays_match_scalar(self):
+        fn = XorHashFunction.from_sigma(16, 8, [12, None, 9, 15, 8, 10, 11, 14])
+        pol = XorIndexing(fn)
+        blocks = np.arange(300, dtype=np.uint64) * 41
+        idx, tags = pol.split_array(blocks)
+        for b, i, t in zip(blocks, idx, tags):
+            assert pol.set_index(int(b)) == int(i)
+            assert pol.tag(int(b)) == int(t)
+
+
+class TestBitSelect:
+    def test_selected_bits(self):
+        pol = BitSelectIndexing(8, [0, 2])
+        assert pol.set_index(0b101) == 0b11
+        assert pol.selected_bits == (0, 2)

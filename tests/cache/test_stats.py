@@ -1,0 +1,43 @@
+"""Tests for CacheStats."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+
+
+class TestValidation:
+    def test_misses_bounded_by_accesses(self):
+        with pytest.raises(ValueError):
+            CacheStats(accesses=5, misses=6)
+
+    def test_compulsory_bounded_by_misses(self):
+        with pytest.raises(ValueError):
+            CacheStats(accesses=5, misses=2, compulsory=3)
+
+
+class TestDerived:
+    def test_hits_and_rate(self):
+        s = CacheStats(accesses=10, misses=4, compulsory=1)
+        assert s.hits == 6
+        assert s.miss_rate == 0.4
+        assert s.non_compulsory_misses == 3
+
+    def test_empty_trace_rate(self):
+        assert CacheStats(accesses=0, misses=0).miss_rate == 0.0
+
+    def test_misses_per_kuop(self):
+        s = CacheStats(accesses=100, misses=50)
+        assert s.misses_per_kuop(10_000) == 5.0
+        with pytest.raises(ValueError):
+            s.misses_per_kuop(0)
+
+    def test_removed_fraction(self):
+        base = CacheStats(accesses=100, misses=50)
+        better = CacheStats(accesses=100, misses=25)
+        worse = CacheStats(accesses=100, misses=60)
+        assert better.removed_fraction(base) == 50.0
+        assert worse.removed_fraction(base) == -20.0
+        assert base.removed_fraction(CacheStats(accesses=100, misses=0)) == 0.0
+
+    def test_str(self):
+        assert "misses" in str(CacheStats(accesses=2, misses=1))

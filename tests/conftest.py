@@ -1,0 +1,133 @@
+"""Shared fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.gf2.hashfn import XorHashFunction
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def geometry_1kb():
+    return CacheGeometry.direct_mapped(1024)
+
+
+@pytest.fixture
+def geometry_4kb():
+    return CacheGeometry.direct_mapped(4096)
+
+
+@pytest.fixture
+def conflict_trace():
+    """Four 1 KB-strided streams interleaved: pure conflict misses in a
+    1 KB direct-mapped cache, all fixable by XOR indexing."""
+    streams = [k * 1024 + 4 * np.arange(32, dtype=np.uint64) for k in range(4)]
+    inner = np.stack(streams, axis=1).reshape(-1)
+    return Trace(np.tile(inner, 20), name="conflict-streams")
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+def gf2_vectors(n: int):
+    """Bit vectors of length n as integers."""
+    return st.integers(min_value=0, max_value=(1 << n) - 1)
+
+
+def _repair_full_rank(fn: XorHashFunction) -> XorHashFunction:
+    """Deterministically replace dependent columns by unit vectors."""
+    while not fn.is_full_rank:
+        cols = list(fn.columns)
+        basis: list[int] = []
+        dependent = None
+        for i, col in enumerate(cols):
+            reduced = col
+            for b in basis:
+                reduced = min(reduced, reduced ^ b)
+            if reduced:
+                basis.append(reduced)
+            else:
+                dependent = i
+                break
+        assert dependent is not None
+        for j in range(fn.n):
+            candidate = 1 << j
+            reduced = candidate
+            for b in basis:
+                reduced = min(reduced, reduced ^ b)
+            if reduced:
+                cols[dependent] = candidate
+                break
+        fn = XorHashFunction(fn.n, cols)
+    return fn
+
+
+@st.composite
+def hash_functions(draw, n: int = 12, m: int | None = None, full_rank: bool = True):
+    """Random XOR hash functions, optionally full rank."""
+    if m is None:
+        m = draw(st.integers(min_value=1, max_value=min(n, 6)))
+    columns = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=(1 << n) - 1),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    fn = XorHashFunction(n, columns)
+    if full_rank:
+        fn = _repair_full_rank(fn)
+    return fn
+
+
+@st.composite
+def permutation_hash_functions(draw, n: int = 12, m: int = 6):
+    """Random permutation-based functions (identity low rows)."""
+    high_bits = n - m
+    columns = []
+    for c in range(m):
+        high = draw(st.integers(min_value=0, max_value=(1 << high_bits) - 1))
+        columns.append((1 << c) | (high << m))
+    return XorHashFunction(n, columns)
+
+
+@st.composite
+def two_input_permutation_functions(draw, n: int = 12, m: int = 6):
+    """Random fan-in-<=2 permutation functions (the Sec. 5 hardware family)."""
+    sigma = [
+        draw(st.one_of(st.none(), st.integers(min_value=m, max_value=n - 1)))
+        for _ in range(m)
+    ]
+    return XorHashFunction.from_sigma(n, m, sigma)
+
+
+@st.composite
+def block_traces(draw, max_len: int = 200, max_block: int = 1 << 14):
+    """Short block-address traces with deliberate reuse."""
+    pool_size = draw(st.integers(min_value=1, max_value=24))
+    pool = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_block - 1),
+            min_size=pool_size,
+            max_size=pool_size,
+            unique=True,
+        )
+    )
+    picks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=pool_size - 1),
+            min_size=1,
+            max_size=max_len,
+        )
+    )
+    return np.array([pool[i] for i in picks], dtype=np.uint64)

@@ -1,0 +1,62 @@
+"""Tests for exact evaluation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.indexing import ModuloIndexing, XorIndexing
+from repro.core.evaluate import (
+    baseline_stats,
+    compare_indexings,
+    evaluate_hash_function,
+    evaluate_indexing,
+)
+from repro.gf2.hashfn import XorHashFunction
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    return Trace(np.tile(np.array([0, 1024, 0, 1024], dtype=np.uint64), 25))
+
+
+class TestEvaluate:
+    def test_baseline_is_modulo(self, trace):
+        geometry = CacheGeometry.direct_mapped(1024)
+        base = baseline_stats(trace, geometry)
+        direct = evaluate_indexing(trace, geometry, ModuloIndexing(8))
+        assert base == direct
+        assert base.misses == 100  # 0 and 1024 ping-pong in set 0
+
+    def test_hash_function_evaluation(self, trace):
+        geometry = CacheGeometry.direct_mapped(1024)
+        fn = XorHashFunction.from_sigma(16, 8, [8] + [None] * 7)
+        stats = evaluate_hash_function(trace, geometry, fn)
+        assert stats.misses == 2
+
+    def test_m_mismatch_rejected(self, trace):
+        geometry = CacheGeometry.direct_mapped(1024)
+        with pytest.raises(ValueError):
+            evaluate_hash_function(trace, geometry, XorHashFunction.modulo(16, 10))
+
+    def test_set_count_mismatch_rejected(self, trace):
+        geometry = CacheGeometry.direct_mapped(1024)
+        with pytest.raises(ValueError):
+            evaluate_indexing(trace, geometry, ModuloIndexing(9))
+
+    def test_set_associative_path(self, trace):
+        geometry = CacheGeometry(1024, block_size=4, associativity=2)
+        stats = evaluate_indexing(trace, geometry, ModuloIndexing(7))
+        assert stats.misses == 2  # two ways absorb the ping-pong
+
+    def test_compare_indexings(self, trace):
+        geometry = CacheGeometry.direct_mapped(1024)
+        results = compare_indexings(
+            trace,
+            geometry,
+            {
+                "modulo": ModuloIndexing(8),
+                "xor": XorIndexing(XorHashFunction.from_sigma(16, 8, [8] + [None] * 7)),
+            },
+        )
+        assert results["xor"].misses < results["modulo"].misses

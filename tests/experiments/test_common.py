@@ -1,0 +1,33 @@
+"""Tests for the experiment formatting helpers."""
+
+from repro.experiments.common import format_table, mean
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1.234], ["long-name", 10.0]],
+            title="T",
+            float_format="{:.2f}",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.23" in text and "10.00" in text
+        # All data rows have equal width.
+        assert len(lines[2]) == len(lines[3])
+
+    def test_non_float_cells_passthrough(self):
+        text = format_table(["a"], [["xyz"], [42]])
+        assert "xyz" in text and "42" in text
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty(self):
+        assert mean([]) == 0.0
+
+    def test_generator(self):
+        assert mean(x for x in (2.0, 4.0)) == 3.0

@@ -1,0 +1,21 @@
+"""Regression tests for the Sec. 2 counting experiment."""
+
+from repro.experiments.counting import format_counting, run_counting
+
+
+class TestCounting:
+    def test_paper_config_first(self):
+        results = run_counting()
+        first = results[0]
+        assert (first.n, first.m) == (16, 8)
+        assert f"{first.full_rank_matrices:.1e}" == "3.4e+38"
+        assert f"{first.distinct_null_spaces:.1e}" == "6.3e+19"
+
+    def test_redundancy_factor_is_large(self):
+        """The motivation for searching null spaces, quantified."""
+        for result in run_counting():
+            assert result.redundancy_factor > 1e10
+
+    def test_format(self):
+        text = format_counting()
+        assert "16->8" in text and "6.338e+19" in text

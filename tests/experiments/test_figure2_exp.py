@@ -1,0 +1,26 @@
+"""Tests for the Fig. 2 experiment driver."""
+
+from repro.experiments.figure2 import format_figure2, run_figure2
+
+
+class TestFigure2:
+    def test_runs_and_verifies(self):
+        result = run_figure2(n=16, m=8, verify_addresses=512)
+        assert result.verified_addresses == 512
+        assert set(result.wiring) == {
+            "bit-select",
+            "optimized bit-select",
+            "general XOR",
+            "permutation-based",
+        }
+
+    def test_wiring_matches_section5(self):
+        result = run_figure2(n=16, m=8, verify_addresses=16)
+        assert result.wiring["bit-select"].crossings == 256
+        assert result.wiring["permutation-based"].crossings == 64
+
+    def test_format(self):
+        result = run_figure2(n=16, m=8, verify_addresses=16)
+        text = format_figure2(result)
+        assert "crossings" in text
+        assert "permutation-based network" in text

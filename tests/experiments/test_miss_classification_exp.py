@@ -1,0 +1,33 @@
+"""Tests for the miss-classification extension driver."""
+
+import pytest
+
+from repro.experiments.miss_classification import (
+    format_miss_classification,
+    run_miss_classification,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_miss_classification(
+        scale="tiny", cache_bytes=1024, benchmarks=("dijkstra", "susan")
+    )
+
+
+class TestMissClassification:
+    def test_breakdown_sums(self, rows):
+        for r in rows:
+            b = r.breakdown
+            assert b.compulsory + b.capacity + b.conflict == b.total
+
+    def test_removal_bounded_when_no_capacity_misses(self, rows):
+        """With zero capacity component the conflict pool is a strict
+        upper bound; with one, hashing may exceed it (LRU pathologies)."""
+        for r in rows:
+            if r.breakdown.capacity == 0:
+                assert r.removed_percent <= r.conflict_percent + 1e-6
+
+    def test_format(self, rows):
+        text = format_miss_classification(rows)
+        assert "conflict %" in text and "dijkstra" in text

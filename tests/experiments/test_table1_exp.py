@@ -1,0 +1,24 @@
+"""Regression tests: Table 1 must reproduce exactly."""
+
+from repro.experiments.table1 import PAPER_TABLE1, format_table1, run_table1
+
+
+class TestTable1:
+    def test_every_cell_matches_paper(self):
+        cells = run_table1()
+        assert len(cells) == 12  # 4 schemes x 3 sizes
+        for cell in cells:
+            assert cell.matches_paper, (
+                f"{cell.scheme}@{cell.cache}: computed {cell.closed_form} / "
+                f"constructed {cell.constructed}, paper says {cell.paper}"
+            )
+
+    def test_constructed_equals_closed_form(self):
+        for cell in run_table1():
+            assert cell.constructed == cell.closed_form
+
+    def test_format_contains_all_schemes(self):
+        text = format_table1()
+        for scheme in PAPER_TABLE1:
+            assert scheme in text
+        assert "(!)" not in text  # no mismatches flagged

@@ -1,0 +1,43 @@
+"""Tests for the Table 3 driver (reduced scale)."""
+
+import pytest
+
+from repro.experiments.table3 import (
+    COLUMNS,
+    average_row,
+    format_table3,
+    run_table3,
+)
+
+_BENCHMARKS = ("blit", "des", "qurt")
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table3(scale="tiny", benchmarks=_BENCHMARKS, opt_mode="estimate")
+
+
+class TestTable3Driver:
+    def test_all_columns_present(self, rows):
+        for row in rows:
+            assert set(row.removed_percent) == set(COLUMNS)
+
+    def test_qurt_has_nothing_to_fix(self, rows):
+        """Table 3 shows qurt at 0.0 everywhere: no conflicts to remove."""
+        qurt = next(r for r in rows if r.benchmark == "qurt")
+        for column in ("opt", "1-in", "2-in", "4-in", "16-in"):
+            assert abs(qurt.removed_percent[column]) < 1.0
+
+    def test_average(self, rows):
+        avg = average_row(rows)
+        assert set(avg) == set(COLUMNS)
+
+    def test_format(self, rows):
+        text = format_table3(rows)
+        assert "blit" in text and "average" in text and "FA" in text
+
+    def test_exact_mode_on_one_benchmark(self):
+        exact = run_table3(scale="tiny", benchmarks=("fir",), opt_mode="exact")
+        estimate = run_table3(scale="tiny", benchmarks=("fir",), opt_mode="estimate")
+        # Exact optimum can only be at least as good in true misses.
+        assert exact[0].removed_percent["opt"] >= estimate[0].removed_percent["opt"] - 1e-9

@@ -1,0 +1,105 @@
+"""Unit and property tests for repro.gf2.bitvec."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf2.bitvec import (
+    bits_of,
+    dot,
+    from_bits,
+    mask,
+    parity,
+    parity_table,
+    parity_u64,
+    popcount,
+    weight_at_most,
+)
+
+
+class TestPopcountParity:
+    def test_popcount_known_values(self):
+        assert popcount(0) == 0
+        assert popcount(1) == 1
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 64) - 1) == 64
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_parity_known_values(self):
+        assert parity(0) == 0
+        assert parity(0b111) == 1
+        assert parity(0b1111) == 0
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    def test_parity_is_popcount_mod_2(self, x):
+        assert parity(x) == popcount(x) % 2
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 30),
+        st.integers(min_value=0, max_value=1 << 30),
+    )
+    def test_parity_additive_over_xor(self, x, y):
+        assert parity(x ^ y) == parity(x) ^ parity(y)
+
+
+class TestDot:
+    def test_dot_is_parity_of_and(self):
+        assert dot(0b1100, 0b1010) == 1  # shares exactly bit 3
+        assert dot(0b1100, 0b0011) == 0
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 20),
+        st.integers(min_value=0, max_value=1 << 20),
+        st.integers(min_value=0, max_value=1 << 20),
+    )
+    def test_dot_bilinear(self, x, y, h):
+        """GF(2) bilinearity: <x^y, h> = <x,h> ^ <y,h>."""
+        assert dot(x ^ y, h) == dot(x, h) ^ dot(y, h)
+
+
+class TestMaskBits:
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+
+    def test_mask_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_bits_round_trip(self, x):
+        assert from_bits(bits_of(x, 16)) == x
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            from_bits([0, 2, 1])
+
+    def test_weight_at_most(self):
+        assert weight_at_most(0b101, 2)
+        assert not weight_at_most(0b111, 2)
+
+
+class TestParityTable:
+    def test_table_shape_and_dtype(self):
+        table = parity_table()
+        assert table.shape == (65536,)
+        assert table.dtype == np.uint8
+
+    def test_table_matches_scalar(self):
+        table = parity_table()
+        for value in [0, 1, 2, 3, 0xFF, 0xABC, 0xFFFF, 12345]:
+            assert table[value] == parity(value)
+
+    def test_table_is_cached(self):
+        assert parity_table() is parity_table()
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_parity_u64_matches_scalar(self, col):
+        values = np.arange(512, dtype=np.uint64)
+        expected = np.array([parity(int(v) & col) for v in values], dtype=np.uint8)
+        assert (parity_u64(values, col) == expected).all()

@@ -1,0 +1,101 @@
+"""Tests for the design-space counting formulas (paper Sec. 2, Eq. 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf2.counting import (
+    gaussian_binomial,
+    num_distinct_null_spaces,
+    num_full_rank_matrices,
+    num_matrices,
+    num_subspaces_total,
+)
+
+
+class TestGaussianBinomial:
+    def test_small_known_values(self):
+        # [4 choose 2]_2 = 35, [3 choose 1]_2 = 7.
+        assert gaussian_binomial(4, 2) == 35
+        assert gaussian_binomial(3, 1) == 7
+        assert gaussian_binomial(5, 0) == 1
+        assert gaussian_binomial(5, 5) == 1
+
+    def test_out_of_range_k(self):
+        assert gaussian_binomial(3, 4) == 0
+        assert gaussian_binomial(3, -1) == 0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_binomial(-1, 0)
+
+    @given(st.integers(min_value=0, max_value=12), st.integers(min_value=0, max_value=12))
+    def test_symmetry(self, n, k):
+        assert gaussian_binomial(n, k) == gaussian_binomial(n, n - k)
+
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=1, max_value=10))
+    def test_pascal_recurrence(self, n, k):
+        """q-Pascal: [n,k] = [n-1,k-1] + q^k [n-1,k]."""
+        assert gaussian_binomial(n, k) == gaussian_binomial(
+            n - 1, k - 1
+        ) + (1 << k) * gaussian_binomial(n - 1, k)
+
+
+class TestPaperNumbers:
+    def test_section2_null_space_count(self):
+        """'only 6.3e19 distinct null spaces' for 16 -> 8."""
+        count = num_distinct_null_spaces(16, 8)
+        assert f"{count:.1e}" == "6.3e+19"
+
+    def test_section2_matrix_count(self):
+        """'3.4e38 distinct matrices' hashing 16 bits to 8."""
+        count = num_full_rank_matrices(16, 8)
+        assert f"{count:.1e}" == "3.4e+38"
+
+    def test_eq3_literal_product(self):
+        n, m = 16, 8
+        numerator, denominator = 1, 1
+        for i in range(1, m + 1):
+            numerator *= (1 << (n - i + 1)) - 1
+            denominator *= (1 << i) - 1
+        assert num_distinct_null_spaces(n, m) == numerator // denominator
+
+
+class TestMatrixCounts:
+    def test_full_rank_at_most_total(self):
+        for n, m in [(4, 2), (6, 3), (8, 8)]:
+            assert num_full_rank_matrices(n, m) <= num_matrices(n, m)
+
+    def test_full_rank_exhaustive_small(self):
+        """Brute-force count of rank-2 3x2 matrices over GF(2)."""
+        from repro.gf2.matrix import GF2Matrix
+
+        count = 0
+        for r0 in range(4):
+            for r1 in range(4):
+                for r2 in range(4):
+                    if GF2Matrix([r0, r1, r2], 2).rank() == 2:
+                        count += 1
+        assert count == num_full_rank_matrices(3, 2)
+
+    def test_square_full_rank_is_gl(self):
+        # |GL(3, 2)| = 168.
+        assert num_full_rank_matrices(3, 3) == 168
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            num_full_rank_matrices(4, 5)
+        with pytest.raises(ValueError):
+            num_distinct_null_spaces(4, 5)
+        with pytest.raises(ValueError):
+            num_matrices(-1, 2)
+
+
+class TestSubspaceTotals:
+    def test_total_subspaces_small(self):
+        # dims 0..2 of GF(2)^2: 1 + 3 + 1.
+        assert num_subspaces_total(2) == 5
+
+    @given(st.integers(min_value=0, max_value=10))
+    def test_total_at_least_dimensions(self, n):
+        assert num_subspaces_total(n) >= n + 1

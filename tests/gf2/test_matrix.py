@@ -1,0 +1,180 @@
+"""Unit and property tests for repro.gf2.matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.bitvec import dot
+from repro.gf2.matrix import GF2Matrix
+
+
+@st.composite
+def matrices(draw, max_rows=8, max_cols=8):
+    nrows = draw(st.integers(min_value=1, max_value=max_rows))
+    ncols = draw(st.integers(min_value=1, max_value=max_cols))
+    rows = [
+        draw(st.integers(min_value=0, max_value=(1 << ncols) - 1))
+        for _ in range(nrows)
+    ]
+    return GF2Matrix(rows, ncols)
+
+
+class TestConstruction:
+    def test_rejects_oversized_rows(self):
+        with pytest.raises(ValueError):
+            GF2Matrix([0b100], 2)
+
+    def test_rejects_negative_ncols(self):
+        with pytest.raises(ValueError):
+            GF2Matrix([], -1)
+
+    def test_identity(self):
+        eye = GF2Matrix.identity(4)
+        assert eye.shape == (4, 4)
+        for r in range(4):
+            for c in range(4):
+                assert eye.entry(r, c) == (1 if r == c else 0)
+
+    def test_zeros(self):
+        z = GF2Matrix.zeros(3, 5)
+        assert z.shape == (3, 5)
+        assert all(row == 0 for row in z.rows)
+
+    def test_bit_rows_round_trip(self):
+        bits = [[1, 0, 1], [0, 1, 1]]
+        assert GF2Matrix.from_bit_rows(bits).to_bit_rows() == bits
+
+    def test_from_bit_rows_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.from_bit_rows([[1, 0], [1]])
+
+    def test_entry_bounds(self):
+        m = GF2Matrix.identity(3)
+        with pytest.raises(IndexError):
+            m.entry(3, 0)
+        with pytest.raises(IndexError):
+            m.entry(0, 3)
+
+    def test_column_extraction(self):
+        m = GF2Matrix.from_bit_rows([[1, 0], [1, 1], [0, 1]])
+        assert m.column(0) == 0b011
+        assert m.column(1) == 0b110
+
+
+class TestAlgebra:
+    @given(matrices())
+    def test_identity_is_left_neutral(self, m):
+        eye = GF2Matrix.identity(m.nrows)
+        assert (eye @ m) == m
+
+    @given(matrices())
+    def test_identity_is_right_neutral(self, m):
+        eye = GF2Matrix.identity(m.ncols)
+        assert (m @ eye) == m
+
+    @given(matrices(), st.data())
+    def test_vecmat_linear(self, m, data):
+        x = data.draw(st.integers(min_value=0, max_value=(1 << m.nrows) - 1))
+        y = data.draw(st.integers(min_value=0, max_value=(1 << m.nrows) - 1))
+        assert m.vecmat(x ^ y) == m.vecmat(x) ^ m.vecmat(y)
+
+    @given(matrices(), st.data())
+    def test_vecmat_matches_definition(self, m, data):
+        x = data.draw(st.integers(min_value=0, max_value=(1 << m.nrows) - 1))
+        expected = 0
+        for c in range(m.ncols):
+            expected |= dot(x, m.column(c)) << c
+        assert m.vecmat(x) == expected
+
+    @given(matrices())
+    def test_double_transpose(self, m):
+        assert m.transpose().transpose() == m
+
+    @given(matrices(), st.data())
+    def test_transpose_swaps_vecmat_matvec(self, m, data):
+        x = data.draw(st.integers(min_value=0, max_value=(1 << m.nrows) - 1))
+        assert m.vecmat(x) == m.transpose().matvec(x)
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.identity(3) @ GF2Matrix.identity(4)
+
+    def test_addition_is_xor(self):
+        a = GF2Matrix([0b11, 0b01], 2)
+        b = GF2Matrix([0b10, 0b01], 2)
+        assert (a + b) == GF2Matrix([0b01, 0b00], 2)
+
+    def test_addition_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.identity(2) + GF2Matrix.identity(3)
+
+
+class TestElimination:
+    @given(matrices())
+    def test_rref_preserves_row_space_rank(self, m):
+        reduced, pivots = m.rref()
+        assert reduced.rank() == len(pivots) == m.rank()
+
+    @given(matrices())
+    def test_rref_idempotent(self, m):
+        reduced, __ = m.rref()
+        again, __ = reduced.rref()
+        # RREF is canonical per row space up to zero-row placement; our
+        # implementation keeps pivot rows first, so it is a fixpoint.
+        assert again == reduced
+
+    @given(matrices())
+    def test_rank_bounds(self, m):
+        assert 0 <= m.rank() <= min(m.nrows, m.ncols)
+
+    @given(matrices())
+    def test_kernel_vectors_annihilate(self, m):
+        for vec in m.kernel():
+            assert m.matvec(vec) == 0
+
+    @given(matrices())
+    def test_rank_nullity(self, m):
+        assert m.rank() + len(m.kernel()) == m.ncols
+
+    @given(matrices())
+    def test_kernel_is_independent(self, m):
+        kernel = m.kernel()
+        if kernel:
+            assert GF2Matrix(kernel, m.ncols).rank() == len(kernel)
+
+    def test_kernel_of_identity_is_trivial(self):
+        assert GF2Matrix.identity(5).kernel() == []
+
+
+class TestInverse:
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0))
+    def test_inverse_round_trip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = GF2Matrix.random(n, n, rng)
+        while not m.is_full_rank():
+            m = GF2Matrix.random(n, n, rng)
+        eye = GF2Matrix.identity(n)
+        assert (m @ m.inverse()) == eye
+        assert (m.inverse() @ m) == eye
+
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            GF2Matrix([0b01, 0b01], 2).inverse()
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            GF2Matrix([0b1], 1 + 1).inverse()
+
+
+class TestPlumbing:
+    def test_equality_and_hash(self):
+        a = GF2Matrix([1, 2], 2)
+        b = GF2Matrix([1, 2], 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != GF2Matrix([1, 3], 2)
+
+    def test_str_renders_bits(self):
+        s = str(GF2Matrix.from_bit_rows([[1, 0], [0, 1]]))
+        assert s.splitlines() == ["1 0", "0 1"]

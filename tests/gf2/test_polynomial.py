@@ -1,0 +1,107 @@
+"""Tests for GF(2) polynomials and Rau's polynomial hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf2.polynomial import (
+    irreducible_polynomials,
+    is_irreducible,
+    poly_degree,
+    poly_mod,
+    poly_mul,
+    polynomial_hash_function,
+)
+
+_polys = st.integers(min_value=0, max_value=(1 << 12) - 1)
+_nonzero = st.integers(min_value=1, max_value=(1 << 12) - 1)
+
+
+class TestArithmetic:
+    def test_degree(self):
+        assert poly_degree(0) == -1
+        assert poly_degree(1) == 0
+        assert poly_degree(0b10011) == 4
+
+    @given(_polys, _polys)
+    def test_mul_degree_adds(self, a, b):
+        if a and b:
+            assert poly_degree(poly_mul(a, b)) == poly_degree(a) + poly_degree(b)
+
+    @given(_polys, _polys, _polys)
+    def test_mul_distributes(self, a, b, c):
+        assert poly_mul(a, b ^ c) == poly_mul(a, b) ^ poly_mul(a, c)
+
+    @given(_polys, _nonzero)
+    def test_mod_is_remainder(self, a, p):
+        r = poly_mod(a, p)
+        assert poly_degree(r) < poly_degree(p) or r == 0
+        # a - r is divisible by p.
+        assert poly_mod(a ^ r, p) == 0
+
+    @given(_polys, _polys, _nonzero)
+    def test_mod_is_ring_homomorphism(self, a, b, p):
+        lhs = poly_mod(poly_mul(a, b), p)
+        rhs = poly_mod(poly_mul(poly_mod(a, p), poly_mod(b, p)), p)
+        assert lhs == rhs
+
+    def test_mod_rejects_zero(self):
+        with pytest.raises(ValueError):
+            poly_mod(5, 0)
+
+
+class TestIrreducibility:
+    def test_known_irreducible(self):
+        # x^4+x+1 and x^8+x^4+x^3+x^2+1 (the AES polynomial).
+        assert is_irreducible(0b10011)
+        assert is_irreducible(0b100011101)
+
+    def test_known_reducible(self):
+        assert not is_irreducible(0b10001)  # x^4+1 = (x+1)^4
+        assert not is_irreducible(0b110)    # divisible by x
+
+    @pytest.mark.parametrize("degree,count", [(1, 2), (2, 1), (3, 2), (4, 3), (5, 6)])
+    def test_counts_match_necklace_formula(self, degree, count):
+        """Number of irreducible degree-d polynomials over GF(2) is
+        known: 2, 1, 2, 3, 6, 9, 18, ..."""
+        assert len(irreducible_polynomials(degree)) == count
+
+    @given(st.integers(min_value=2, max_value=8))
+    def test_products_detected(self, d):
+        polys = irreducible_polynomials(d)
+        product = poly_mul(polys[0], polys[-1])
+        assert not is_irreducible(product)
+
+
+class TestPolynomialHash:
+    def test_low_rows_identity(self):
+        """x^r mod p = x^r for r < deg p: the function is
+        permutation-based, linking Rau to the paper's Sec. 4."""
+        fn = polynomial_hash_function(16, 0b100011101)
+        assert fn.is_permutation_based
+        assert fn.has_permutation_null_space()
+        assert fn.is_full_rank
+
+    def test_matches_direct_polynomial_reduction(self):
+        p = 0b10011
+        fn = polynomial_hash_function(12, p)
+        for addr in range(1 << 12):
+            assert fn.apply(addr) == poly_mod(addr, p)
+
+    def test_irreducible_spreads_strides(self):
+        """Rau's point: an aligned stride-2^k run of 2^m blocks maps
+        conflict-free under an irreducible modulus (here: stride runs
+        that collapse to one set under modulo indexing)."""
+        m = 8
+        p = irreducible_polynomials(m)[0]
+        fn = polynomial_hash_function(16, p)
+        stride = 1 << m  # modulo indexing maps this run to a single set
+        indices = {fn.apply(i * stride) for i in range(1 << m)}
+        assert len(indices) == 1 << m
+
+    def test_degree_bounds(self):
+        with pytest.raises(ValueError):
+            polynomial_hash_function(8, 1 << 9)  # degree 9 > n
+        with pytest.raises(ValueError):
+            polynomial_hash_function(8, 1)  # degree 0

@@ -1,0 +1,167 @@
+"""Unit and property tests for repro.gf2.spaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.counting import gaussian_binomial
+from repro.gf2.spaces import Subspace
+
+_N = 8
+
+
+@st.composite
+def subspaces(draw, n=_N, max_generators=6):
+    count = draw(st.integers(min_value=0, max_value=max_generators))
+    vectors = [
+        draw(st.integers(min_value=0, max_value=(1 << n) - 1)) for _ in range(count)
+    ]
+    return Subspace(vectors, n)
+
+
+class TestCanonicalBasis:
+    @given(subspaces(), st.data())
+    def test_generator_order_irrelevant(self, space, data):
+        shuffled = list(space.basis)
+        data.draw(st.randoms()).shuffle(shuffled)
+        assert Subspace(shuffled, space.n) == space
+
+    @given(subspaces(), st.data())
+    def test_adding_member_changes_nothing(self, space, data):
+        if space.dim == 0:
+            member = 0
+        else:
+            coeffs = data.draw(st.integers(min_value=0, max_value=space.size() - 1))
+            member = 0
+            for i, b in enumerate(space.basis):
+                if (coeffs >> i) & 1:
+                    member ^= b
+        assert Subspace(list(space.basis) + [member], space.n) == space
+
+    @given(subspaces())
+    def test_pivots_distinct(self, space):
+        assert len(set(space.pivots)) == space.dim
+
+    def test_rejects_out_of_range_vectors(self):
+        with pytest.raises(ValueError):
+            Subspace([1 << _N], _N)
+
+
+class TestMembership:
+    @given(subspaces())
+    def test_zero_always_member(self, space):
+        assert 0 in space
+
+    @given(subspaces())
+    def test_basis_members(self, space):
+        for b in space.basis:
+            assert b in space
+
+    @given(subspaces())
+    def test_enumeration_size_and_membership(self, space):
+        members = list(space)
+        assert len(members) == space.size() == 1 << space.dim
+        assert len(set(members)) == len(members)
+        for v in members:
+            assert v in space
+
+    @given(subspaces(), st.data())
+    def test_closed_under_xor(self, space, data):
+        members = list(space)
+        x = data.draw(st.sampled_from(members))
+        y = data.draw(st.sampled_from(members))
+        assert (x ^ y) in space
+
+
+class TestLattice:
+    @given(subspaces(), subspaces())
+    def test_dimension_formula(self, v, w):
+        """dim(V+W) + dim(V∩W) == dim V + dim W."""
+        assert v.sum_with(w).dim + v.intersection(w).dim == v.dim + w.dim
+
+    @given(subspaces(), subspaces())
+    def test_intersection_subset_of_both(self, v, w):
+        inter = v.intersection(w)
+        assert v.contains_subspace(inter)
+        assert w.contains_subspace(inter)
+
+    @given(subspaces(), subspaces())
+    def test_sum_contains_both(self, v, w):
+        total = v.sum_with(w)
+        assert total.contains_subspace(v)
+        assert total.contains_subspace(w)
+
+    @given(subspaces())
+    def test_intersection_with_self(self, v):
+        assert v.intersection(v) == v
+
+    @given(subspaces())
+    def test_intersection_exact_membership(self, v):
+        w = Subspace(v.basis[: max(v.dim - 1, 0)], v.n)
+        inter = v.intersection(w)
+        for member in inter:
+            assert member in v and member in w
+
+    def test_ambient_mismatch(self):
+        with pytest.raises(ValueError):
+            Subspace([], 4).sum_with(Subspace([], 5))
+
+
+class TestOrthogonal:
+    @given(subspaces())
+    def test_complement_dimension(self, v):
+        assert v.orthogonal_complement().dim == v.n - v.dim
+
+    @given(subspaces())
+    def test_double_complement(self, v):
+        assert v.orthogonal_complement().orthogonal_complement() == v
+
+    @given(subspaces())
+    def test_complement_annihilates(self, v):
+        comp = v.orthogonal_complement()
+        for x in v.basis:
+            for y in comp.basis:
+                assert bin(x & y).count("1") % 2 == 0
+
+
+class TestNeighbors:
+    def test_neighbor_definition(self):
+        v = Subspace([0b0001, 0b0010], 4)
+        w = Subspace([0b0001, 0b0100], 4)  # shares the 1-dim span(e0)
+        assert v.is_neighbor_of(w)
+        assert not v.is_neighbor_of(v)
+
+    def test_different_dims_not_neighbors(self):
+        v = Subspace([0b0001], 4)
+        w = Subspace([0b0001, 0b0010], 4)
+        assert not v.is_neighbor_of(w)
+
+
+class TestRandomAndCounting:
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0, max_value=6), st.integers(min_value=0))
+    def test_random_subspace_dim(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        assert Subspace.random(6, dim, rng).dim == dim
+
+    def test_exhaustive_subspace_count_small(self):
+        """All distinct 1-dim subspaces of GF(2)^4: the Gaussian binomial."""
+        n = 4
+        spaces = {Subspace([v], n) for v in range(1, 1 << n)}
+        assert len(spaces) == gaussian_binomial(n, 1)
+
+    def test_exhaustive_2dim_count(self):
+        n = 4
+        spaces = set()
+        for a in range(1, 1 << n):
+            for b in range(1, 1 << n):
+                space = Subspace([a, b], n)
+                if space.dim == 2:
+                    spaces.add(space)
+        assert len(spaces) == gaussian_binomial(n, 2)
+
+    def test_full_and_zero(self):
+        assert Subspace.full(5).dim == 5
+        assert Subspace.zero(5).dim == 0
+        assert Subspace.span_of_units([0, 2], 5).pivots == (2, 0)

@@ -1,0 +1,42 @@
+"""Tests for the first-order energy model."""
+
+from repro.cache.stats import CacheStats
+from repro.hardware.energy import EnergyModel, indexing_energy
+from repro.hardware.network import build_network
+
+
+class TestEnergyModel:
+    def test_misses_dominate_by_construction(self):
+        stats = CacheStats(accesses=10_000, misses=1_000)
+        network = build_network("permutation-based", 16, 10)
+        report = indexing_energy(stats, network)
+        assert report.miss_energy > report.selector_energy
+        assert report.total == (
+            report.selector_energy + report.array_energy + report.miss_energy
+        )
+
+    def test_permutation_selector_cheapest(self):
+        stats = CacheStats(accesses=10_000, misses=100)
+        reports = {
+            scheme: indexing_energy(stats, build_network(scheme, 16, 10))
+            for scheme in ("bit-select", "optimized bit-select", "permutation-based")
+        }
+        perm = reports["permutation-based"].selector_energy
+        assert perm < reports["bit-select"].selector_energy
+        assert perm < reports["optimized bit-select"].selector_energy
+
+    def test_miss_reduction_beats_selector_overhead(self):
+        """The paper's economics: removing 30% of misses saves far more
+        than the XOR selector costs."""
+        network = build_network("permutation-based", 16, 10)
+        base = indexing_energy(CacheStats(accesses=100_000, misses=10_000),
+                               build_network("bit-select", 16, 10))
+        hashed = indexing_energy(CacheStats(accesses=100_000, misses=7_000), network)
+        assert hashed.total < base.total
+
+    def test_custom_model(self):
+        model = EnergyModel(miss_refill=0.0, cache_access=0.0)
+        stats = CacheStats(accesses=100, misses=50)
+        report = indexing_energy(stats, build_network("permutation-based", 16, 8), model)
+        assert report.miss_energy == 0.0 and report.array_energy == 0.0
+        assert report.selector_overhead_fraction == 1.0

@@ -1,0 +1,173 @@
+"""Tests for the functional selector-network models (paper Sec. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.hashfn import XorHashFunction
+from repro.hardware.network import (
+    GeneralXorNetwork,
+    OptimizedBitSelectNetwork,
+    PermutationNetwork,
+    PlainBitSelectNetwork,
+    Selector,
+    build_network,
+)
+from tests.conftest import two_input_permutation_functions
+
+_SCHEMES = ["bit-select", "optimized bit-select", "general XOR", "permutation-based"]
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("scheme", _SCHEMES)
+    @pytest.mark.parametrize("m", [8, 10, 12])
+    def test_switch_count_matches_closed_form(self, scheme, m):
+        network = build_network(scheme, 16, m)
+        assert network.switch_count == network.expected_switch_count()
+        assert network.config_bit_count == network.switch_count
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            build_network("quantum", 16, 8)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            PermutationNetwork(8, 9)
+
+
+class TestSelector:
+    def test_one_hot_config(self):
+        sel = Selector("s", [("bit", 0), ("bit", 3), ("const", 0)])
+        sel.select_bit(3)
+        assert sel.config_bits() == [0, 1, 0]
+        assert sel.evaluate(0b1000) == 1
+        sel.select_constant()
+        assert sel.evaluate(0xFF) == 0
+
+    def test_unconfigured_raises(self):
+        sel = Selector("s", [("bit", 0)])
+        with pytest.raises(RuntimeError):
+            sel.evaluate(1)
+        with pytest.raises(RuntimeError):
+            sel.config_bits()
+
+    def test_unknown_option(self):
+        sel = Selector("s", [("bit", 0)])
+        with pytest.raises(ValueError):
+            sel.select_bit(5)
+
+    def test_empty_options_rejected(self):
+        with pytest.raises(ValueError):
+            Selector("s", [])
+
+
+class TestPermutationNetwork:
+    @settings(max_examples=25, deadline=None)
+    @given(two_input_permutation_functions(n=12, m=6))
+    def test_bit_exact_vs_matrix(self, fn):
+        network = PermutationNetwork(12, 6)
+        network.configure_from(fn)
+        for addr in list(range(200)) + [0xFFF, 0x123, 0xABC]:
+            assert network.index_of(addr) == fn.apply(addr)
+            assert network.tag_of(addr) == fn.tag_of(addr)
+
+    def test_rejects_non_permutation(self):
+        network = PermutationNetwork(12, 6)
+        with pytest.raises(ValueError):
+            network.configure_from(XorHashFunction.bit_select(12, [6, 7, 8, 9, 10, 11]))
+
+    def test_rejects_wide_fan_in(self):
+        network = PermutationNetwork(12, 6)
+        wide = XorHashFunction(12, [(1 << c) | 0b110000000000 for c in range(6)])
+        assert wide.is_permutation_based
+        with pytest.raises(ValueError):
+            network.configure_from(wide)
+
+    def test_rejects_size_mismatch(self):
+        network = PermutationNetwork(12, 6)
+        with pytest.raises(ValueError):
+            network.configure_from(XorHashFunction.modulo(12, 5))
+
+
+class TestGeneralNetwork:
+    def test_shared_min_bit_routes_via_column_ops(self):
+        """Columns a0^a8 and a0^a9 cannot route directly; the routable
+        form substitutes a8^a9 (same null space)."""
+        fn = XorHashFunction(
+            12, [(1 << 0) | (1 << 8), (1 << 0) | (1 << 9), 1 << 2, 1 << 3]
+        )
+        network = GeneralXorNetwork(12, 4)
+        network.configure_from(fn)
+        realized = network.realized_function
+        assert realized.equivalent_to(fn)
+        for addr in range(300):
+            assert network.index_of(addr) == realized.apply(addr)
+            assert network.tag_of(addr) == realized.tag_of(addr)
+
+    @settings(max_examples=25, deadline=None)
+    @given(two_input_permutation_functions(n=12, m=6))
+    def test_realizes_permutation_functions_too(self, fn):
+        network = GeneralXorNetwork(12, 6)
+        network.configure_from(fn)
+        realized = network.realized_function
+        assert realized.equivalent_to(fn)
+        for addr in range(128):
+            assert network.index_of(addr) == realized.apply(addr)
+
+    def test_rejects_wide_fan_in(self):
+        network = GeneralXorNetwork(12, 4)
+        with pytest.raises(ValueError):
+            network.configure_from(XorHashFunction(12, [0b111, 1 << 3, 1 << 4, 1 << 5]))
+
+    def test_routable_form_requires_full_rank(self):
+        with pytest.raises(ValueError):
+            GeneralXorNetwork.routable_form(XorHashFunction(12, [1, 1]))
+
+
+class TestBitSelectNetworks:
+    def test_plain_network_exact(self):
+        fn = XorHashFunction.bit_select(12, [0, 5, 7, 11])
+        network = PlainBitSelectNetwork(12, 4)
+        network.configure_from(fn)
+        for addr in range(300):
+            assert network.index_of(addr) == fn.apply(addr)
+            assert network.tag_of(addr) == fn.tag_of(addr)
+
+    def test_optimized_network_equivalent_partition(self):
+        """The optimized network may permute index bits, which relabels
+        sets without changing which blocks collide."""
+        fn = XorHashFunction.bit_select(12, [5, 0, 7, 11])
+        network = OptimizedBitSelectNetwork(12, 4)
+        network.configure_from(fn)
+        mapping = {}
+        for addr in range(1 << 12):
+            net = network.index_of(addr)
+            ref = fn.apply(addr)
+            assert mapping.setdefault(net, ref) == ref
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_rejects_xor_function(self):
+        network = PlainBitSelectNetwork(12, 4)
+        with pytest.raises(ValueError):
+            network.configure_from(
+                XorHashFunction(12, [0b11, 1 << 2, 1 << 3, 1 << 4])
+            )
+
+
+class TestRealizedOptimizerOutput:
+    def test_pipeline_function_fits_hardware(self):
+        """End to end: the optimizer's 2-in output drives the cheap network."""
+        from repro.cache.geometry import CacheGeometry
+        from repro.core.optimizer import optimize_for_trace
+        from repro.trace.trace import Trace
+
+        streams = [k * 1024 + 4 * np.arange(32, dtype=np.uint64) for k in range(4)]
+        trace = Trace(np.tile(np.stack(streams, axis=1).reshape(-1), 10))
+        result = optimize_for_trace(
+            trace, CacheGeometry.direct_mapped(1024), family="2-in"
+        )
+        network = PermutationNetwork(16, 8)
+        network.configure_from(result.hash_function)
+        for addr in range(512):
+            assert network.index_of(addr) == result.hash_function.apply(addr)

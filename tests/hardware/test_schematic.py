@@ -1,0 +1,39 @@
+"""Tests for the ASCII schematics (paper Fig. 2)."""
+
+from repro.gf2.hashfn import XorHashFunction
+from repro.hardware.network import build_network
+from repro.hardware.schematic import render_network, render_selector_row
+
+
+class TestRendering:
+    def test_unconfigured_network_shows_windows(self):
+        network = build_network("optimized bit-select", 16, 8)
+        text = render_network(network)
+        assert "optimized bit-select" in text
+        assert "index[0]" in text and "tag[7]" in text
+        assert "o" in text  # selectable positions
+
+    def test_configured_network_marks_selection(self):
+        network = build_network("permutation-based", 16, 8)
+        fn = XorHashFunction.from_sigma(16, 8, [12, None, 9, 15, 8, 10, 11, 14])
+        network.configure_from(fn)
+        text = render_network(network)
+        assert "X" in text   # a selected bit switch
+        assert "C" in text   # the constant selected for sigma[1] = None
+
+    def test_row_rendering(self):
+        network = build_network("permutation-based", 16, 8)
+        selector = network.second_input_selectors[0]
+        row = render_selector_row(selector, 16)
+        grid = row.split(" |")[0]
+        assert grid.count("o") == 8  # the 8 high bits selectable
+        assert "|c|" in row  # constant available, not selected
+
+    def test_all_schemes_render(self):
+        for scheme in (
+            "bit-select",
+            "optimized bit-select",
+            "general XOR",
+            "permutation-based",
+        ):
+            assert scheme in render_network(build_network(scheme, 16, 10))

@@ -1,0 +1,60 @@
+"""Tests for the closed-form switch counts (paper Table 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.switches import (
+    bit_select_switches,
+    general_xor_switches,
+    optimized_bit_select_switches,
+    permutation_switches,
+    switch_counts,
+)
+
+#: (m, bit-select, optimized, general XOR, permutation) from Table 1.
+_PAPER_ROWS = [
+    (8, 256, 144, 252, 72),
+    (10, 256, 136, 261, 70),
+    (12, 256, 112, 250, 60),
+]
+
+
+class TestTable1Numbers:
+    @pytest.mark.parametrize("m,bs,opt,gx,perm", _PAPER_ROWS)
+    def test_all_cells(self, m, bs, opt, gx, perm):
+        assert bit_select_switches(16, m) == bs
+        assert optimized_bit_select_switches(16, m) == opt
+        assert general_xor_switches(16, m) == gx
+        assert permutation_switches(16, m) == perm
+
+    def test_switch_counts_dict(self):
+        counts = switch_counts(16, 8)
+        assert counts == {
+            "bit-select": 256,
+            "optimized bit-select": 144,
+            "general XOR": 252,
+            "permutation-based": 72,
+        }
+
+
+class TestStructuralProperties:
+    @given(st.integers(min_value=2, max_value=32), st.data())
+    def test_permutation_always_cheapest(self, n, data):
+        m = data.draw(st.integers(min_value=1, max_value=n - 1))
+        counts = switch_counts(n, m)
+        assert counts["permutation-based"] <= counts["optimized bit-select"]
+        assert counts["permutation-based"] <= counts["general XOR"]
+        assert counts["optimized bit-select"] <= counts["bit-select"]
+
+    @given(st.integers(min_value=2, max_value=32), st.data())
+    def test_optimized_formula_decomposition(self, n, data):
+        m = data.draw(st.integers(min_value=1, max_value=n))
+        assert optimized_bit_select_switches(n, m) == \
+            permutation_switches(n, m) + (n - m) * (m + 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bit_select_switches(8, 0)
+        with pytest.raises(ValueError):
+            permutation_switches(8, 9)

@@ -1,0 +1,49 @@
+"""Tests for the Sec. 5 wiring analysis."""
+
+import pytest
+
+from repro.hardware.network import build_network
+from repro.hardware.wiring import wiring_report
+
+
+class TestWiringClaims:
+    def test_bit_select_grid(self):
+        """Sec. 5: 'Bit-selecting functions require n lines crossed by n.'"""
+        report = wiring_report(build_network("bit-select", 16, 8))
+        assert report.input_lines == 16
+        assert report.output_lines == 16
+        assert report.crossings == 256
+        assert report.xor_gates == 0
+
+    def test_permutation_grid(self):
+        """'permutation-based XOR-functions require only n-m lines
+        crossed by m.'"""
+        report = wiring_report(build_network("permutation-based", 16, 8))
+        assert report.input_lines == 8
+        assert report.output_lines == 8
+        assert report.crossings == 64
+        assert report.xor_gates == 8
+
+    def test_permutation_cheapest_capacitance(self):
+        reports = {
+            scheme: wiring_report(build_network(scheme, 16, 10))
+            for scheme in (
+                "bit-select",
+                "optimized bit-select",
+                "general XOR",
+                "permutation-based",
+            )
+        }
+        perm = reports["permutation-based"].capacitance_proxy
+        for scheme, report in reports.items():
+            if scheme != "permutation-based":
+                assert perm < report.capacitance_proxy, scheme
+
+    def test_xor_transistor_count(self):
+        """2 pass gates + one inverter (2T) per XOR gate (Sec. 5)."""
+        report = wiring_report(build_network("permutation-based", 16, 12))
+        assert report.xor_transistors == 48
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            wiring_report(object())

@@ -1,0 +1,140 @@
+"""Tests for the Fig. 1 profiling pass."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.profiling.conflict_profile import (
+    ConflictProfile,
+    profile_blocks,
+    profile_blocks_reference,
+    profile_trace,
+)
+from repro.trace.trace import Trace
+from tests.conftest import block_traces
+
+
+class TestHandWorkedExample:
+    def test_figure1_by_hand(self):
+        """Trace: A B A with plenty of capacity.
+
+        The second access to A sees B above it on the stack; misses(A^B)
+        is incremented once; both first touches are compulsory.
+        """
+        a, b = 0b0101, 0b0110
+        profile = profile_blocks(np.array([a, b, a], dtype=np.uint64), 16, 4)
+        assert profile.compulsory == 2
+        assert profile.capacity == 0
+        assert profile.weight_of(a ^ b) == 1
+        assert profile.total_weight == 1
+
+    def test_repeated_conflict_accumulates(self):
+        a, b = 3, 5
+        blocks = np.array([a, b] * 10, dtype=np.uint64)
+        profile = profile_blocks(blocks, 16, 4)
+        # After the compulsory pair, every access sees the other block.
+        assert profile.weight_of(a ^ b) == 18
+
+    def test_capacity_filter(self):
+        """Reuse distance >= capacity means no conflict vectors."""
+        blocks = np.array([0, 1, 2, 3, 0], dtype=np.uint64)
+        tight = profile_blocks(blocks, 3, 4)
+        assert tight.capacity == 1 and tight.total_weight == 0
+        roomy = profile_blocks(blocks, 4, 4)
+        assert roomy.capacity == 0 and roomy.total_weight == 3
+
+    def test_beyond_window_pairs(self):
+        """Blocks equal in the hashed bits land in beyond_window."""
+        blocks = np.array([0, 1 << 4, 0], dtype=np.uint64)
+        profile = profile_blocks(blocks, 16, 4)
+        assert profile.beyond_window == 1
+        assert profile.total_weight == 0
+
+    def test_vector_truncation(self):
+        blocks = np.array([0, 0b10011, 0], dtype=np.uint64)
+        profile = profile_blocks(blocks, 16, 4)
+        assert profile.weight_of(0b0011) == 1
+
+
+class TestFastEqualsReference:
+    @settings(max_examples=50, deadline=None)
+    @given(block_traces(max_block=1 << 10), st.integers(min_value=1, max_value=64))
+    def test_equivalence(self, blocks, capacity):
+        fast = profile_blocks(blocks, capacity, 10)
+        slow = profile_blocks_reference(blocks, capacity, 10)
+        assert (fast.counts == slow.counts).all()
+        assert fast.compulsory == slow.compulsory
+        assert fast.capacity == slow.capacity
+        assert fast.beyond_window == slow.beyond_window
+
+
+class TestProfileObject:
+    def test_validation_shape(self):
+        with pytest.raises(ValueError):
+            ConflictProfile(4, np.zeros(5, dtype=np.int64))
+
+    def test_validation_zero_vector(self):
+        counts = np.zeros(16, dtype=np.int64)
+        counts[0] = 3
+        with pytest.raises(ValueError):
+            ConflictProfile(4, counts)
+
+    def test_support(self):
+        counts = np.zeros(16, dtype=np.int64)
+        counts[3] = 7
+        counts[9] = 2
+        profile = ConflictProfile(4, counts)
+        vectors, weights = profile.support()
+        assert vectors.tolist() == [3, 9]
+        assert weights.tolist() == [7, 2]
+        assert profile.num_distinct_vectors == 2
+        assert profile.total_weight == 9
+
+    def test_top_vectors(self):
+        counts = np.zeros(16, dtype=np.int64)
+        counts[3] = 7
+        counts[9] = 2
+        profile = ConflictProfile(4, counts)
+        assert profile.top_vectors(1) == [(3, 7)]
+
+    def test_merge(self):
+        counts = np.zeros(16, dtype=np.int64)
+        counts[5] = 1
+        a = ConflictProfile(4, counts.copy(), compulsory=1, capacity=2, accesses=10)
+        b = ConflictProfile(4, counts.copy(), compulsory=3, capacity=4, accesses=20)
+        merged = a.merged_with(b)
+        assert merged.weight_of(5) == 2
+        assert merged.compulsory == 4
+        assert merged.capacity == 6
+        assert merged.accesses == 30
+
+    def test_merge_window_mismatch(self):
+        a = ConflictProfile(4, np.zeros(16, dtype=np.int64))
+        b = ConflictProfile(5, np.zeros(32, dtype=np.int64))
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    def test_save_load_round_trip(self, tmp_path):
+        counts = np.zeros(16, dtype=np.int64)
+        counts[7] = 11
+        profile = ConflictProfile(4, counts, compulsory=2, capacity=3, accesses=50)
+        path = tmp_path / "profile.npz"
+        profile.save(path)
+        loaded = ConflictProfile.load(path)
+        assert (loaded.counts == profile.counts).all()
+        assert loaded.compulsory == 2 and loaded.capacity == 3 and loaded.accesses == 50
+
+    def test_weight_of_bounds(self):
+        profile = ConflictProfile(4, np.zeros(16, dtype=np.int64))
+        with pytest.raises(ValueError):
+            profile.weight_of(16)
+
+
+class TestProfileTrace:
+    def test_uses_geometry_blocks(self):
+        trace = Trace([0, 1024, 0])  # byte addresses; blocks 0 and 256
+        geometry = CacheGeometry.direct_mapped(4096)
+        profile = profile_trace(trace, geometry, 16)
+        assert profile.weight_of(256) == 1

@@ -1,0 +1,117 @@
+"""Tests for the Eq. 4 miss estimator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.hashfn import XorHashFunction
+from repro.profiling.conflict_profile import ConflictProfile, profile_blocks
+from repro.profiling.estimator import (
+    MissEstimator,
+    estimate_misses,
+    estimate_misses_nullspace,
+    estimate_misses_support,
+)
+from tests.conftest import hash_functions
+
+
+@st.composite
+def profiles(draw, n=10):
+    """Random sparse conflict profiles."""
+    counts = np.zeros(1 << n, dtype=np.int64)
+    entries = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=(1 << n) - 1),
+                st.integers(min_value=1, max_value=100),
+            ),
+            max_size=30,
+        )
+    )
+    for vector, weight in entries:
+        counts[vector] += weight
+    return ConflictProfile(n, counts)
+
+
+class TestBothSidesAgree:
+    @settings(max_examples=60, deadline=None)
+    @given(profiles(), hash_functions(n=10))
+    def test_support_equals_nullspace(self, profile, fn):
+        assert estimate_misses_support(profile, fn) == \
+            estimate_misses_nullspace(profile, fn)
+
+    @settings(max_examples=30, deadline=None)
+    @given(profiles(), hash_functions(n=10))
+    def test_auto_dispatch_consistent(self, profile, fn):
+        assert estimate_misses(profile, fn) == estimate_misses_support(profile, fn)
+
+
+class TestEq4Semantics:
+    def test_brute_force_eq4(self):
+        """misses(H) literally sums misses(v) over v in N(H)."""
+        counts = np.zeros(1 << 6, dtype=np.int64)
+        counts[0b000011] = 5
+        counts[0b110000] = 7
+        counts[0b000111] = 1
+        profile = ConflictProfile(6, counts)
+        fn = XorHashFunction.modulo(6, 3)  # N(H) = vectors with low 3 bits 0
+        assert estimate_misses(profile, fn) == 7
+
+    def test_window_mismatch_rejected(self):
+        import pytest
+
+        profile = ConflictProfile(4, np.zeros(16, dtype=np.int64))
+        with pytest.raises(ValueError):
+            estimate_misses(profile, XorHashFunction.modulo(5, 2))
+
+    def test_estimate_matches_conflict_misses_on_clean_pattern(self):
+        """On a pure ping-pong, Eq. 4 exactly counts the conflict misses
+        of the baseline (estimate == exact non-compulsory misses)."""
+        from repro.cache.direct_mapped import simulate_direct_mapped
+        from repro.cache.indexing import ModuloIndexing
+
+        blocks = np.tile(np.array([0, 256], dtype=np.uint64), 50)
+        profile = profile_blocks(blocks, 256, 16)
+        fn = XorHashFunction.modulo(16, 8)
+        estimated = estimate_misses(profile, fn)
+        exact = simulate_direct_mapped(blocks, ModuloIndexing(8))
+        assert estimated == exact.misses - exact.compulsory
+
+
+class TestMissEstimator:
+    @settings(max_examples=30, deadline=None)
+    @given(profiles(), hash_functions(n=10))
+    def test_cost_matches_free_function(self, profile, fn):
+        estimator = MissEstimator(profile)
+        assert estimator.cost(fn.columns) == estimate_misses_support(profile, fn)
+        assert estimator.cost_of(fn) == estimator.cost(fn.columns)
+
+    @settings(max_examples=30, deadline=None)
+    @given(profiles(), hash_functions(n=10, m=4), st.data())
+    def test_batched_column_replacement(self, profile, fn, data):
+        """The batched evaluation equals evaluating each candidate alone."""
+        estimator = MissEstimator(profile)
+        column = data.draw(st.integers(min_value=0, max_value=fn.m - 1))
+        candidates = np.array(
+            [data.draw(st.integers(min_value=1, max_value=(1 << 10) - 1))
+             for _ in range(5)],
+            dtype=np.uint32,
+        )
+        batched = estimator.costs_with_column_replaced(fn.columns, column, candidates)
+        for cand, cost in zip(candidates, batched):
+            replaced = list(fn.columns)
+            replaced[column] = int(cand)
+            assert estimator.cost(tuple(replaced)) == cost
+
+    def test_evaluation_counter(self):
+        counts = np.zeros(16, dtype=np.int64)
+        counts[1] = 1
+        estimator = MissEstimator(ConflictProfile(4, counts))
+        estimator.cost((0b1, 0b10))
+        estimator.costs_with_column_replaced((0b1, 0b10), 0, np.array([1, 2, 4]))
+        assert estimator.evaluations == 4
+
+    def test_empty_profile_costs_zero(self):
+        estimator = MissEstimator(ConflictProfile(4, np.zeros(16, dtype=np.int64)))
+        assert estimator.cost((0b1,)) == 0
+        assert estimator.support_size == 0

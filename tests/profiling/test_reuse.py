@@ -1,0 +1,75 @@
+"""Tests for reuse-distance computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.profiling.reuse import FenwickTree, reuse_distance_histogram, reuse_distances
+from tests.conftest import block_traces
+
+
+def _naive_reuse_distances(blocks):
+    """Oracle: explicit scan for distinct blocks between occurrences."""
+    out = []
+    last = {}
+    for i, b in enumerate(blocks):
+        b = int(b)
+        if b not in last:
+            out.append(-1)
+        else:
+            seen = set()
+            for j in range(last[b] + 1, i):
+                seen.add(int(blocks[j]))
+            out.append(len(seen))
+        last[b] = i
+    return np.array(out, dtype=np.int64)
+
+
+class TestFenwick:
+    def test_prefix_sums(self):
+        tree = FenwickTree(8)
+        tree.add(0, 5)
+        tree.add(3, 2)
+        tree.add(7, 1)
+        assert tree.prefix_sum(0) == 5
+        assert tree.prefix_sum(3) == 7
+        assert tree.prefix_sum(7) == 8
+
+    def test_range_sum(self):
+        tree = FenwickTree(8)
+        for i in range(8):
+            tree.add(i, 1)
+        assert tree.range_sum(2, 5) == 4
+        assert tree.range_sum(5, 2) == 0
+
+    def test_bounds(self):
+        tree = FenwickTree(4)
+        with pytest.raises(IndexError):
+            tree.add(4, 1)
+        with pytest.raises(IndexError):
+            tree.prefix_sum(4)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+
+class TestReuseDistances:
+    def test_known_sequence(self):
+        blocks = np.array([1, 2, 1, 2, 3, 1], dtype=np.uint64)
+        assert reuse_distances(blocks).tolist() == [-1, -1, 1, 1, -1, 2]
+
+    def test_immediate_reuse_is_zero(self):
+        blocks = np.array([5, 5, 5], dtype=np.uint64)
+        assert reuse_distances(blocks).tolist() == [-1, 0, 0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(block_traces(max_len=120))
+    def test_matches_naive_oracle(self, blocks):
+        assert (reuse_distances(blocks) == _naive_reuse_distances(blocks)).all()
+
+    def test_histogram_pools_above_max(self):
+        blocks = np.array([1, 2, 3, 4, 1], dtype=np.uint64)
+        hist = reuse_distance_histogram(blocks, max_distance=2)
+        assert hist[-1] == 4
+        assert hist[2] == 1  # distance 3 pooled at 2

@@ -1,0 +1,66 @@
+"""Tests for sampled profiling."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.conflict_profile import profile_blocks
+from repro.profiling.sampling import profile_blocks_sampled, sampling_quality
+
+
+def _stationary_conflict_trace():
+    """Repeating conflict pattern — stationary, so sampling is unbiased."""
+    streams = [k * 256 + np.arange(16, dtype=np.uint64) for k in range(4)]
+    inner = np.stack(streams, axis=1).reshape(-1)
+    return np.tile(inner, 200)
+
+
+class TestSampledProfiling:
+    def test_period_one_equals_full(self):
+        blocks = _stationary_conflict_trace()
+        full = profile_blocks(blocks, 64, 12)
+        sampled = profile_blocks_sampled(blocks, 64, 12, window=100, period=1)
+        assert (full.counts == sampled.counts).all()
+
+    def test_sampling_shrinks_weight_roughly_proportionally(self):
+        blocks = _stationary_conflict_trace()
+        full = profile_blocks(blocks, 64, 12)
+        sampled = profile_blocks_sampled(blocks, 64, 12, window=1280, period=4)
+        ratio = sampled.total_weight / full.total_weight
+        assert 0.15 < ratio < 0.40  # ~1/4, minus boundary effects
+
+    def test_sampled_support_is_subset(self):
+        blocks = _stationary_conflict_trace()
+        full = profile_blocks(blocks, 64, 12)
+        sampled = profile_blocks_sampled(blocks, 64, 12, window=640, period=3)
+        full_support = set(np.nonzero(full.counts)[0].tolist())
+        sampled_support = set(np.nonzero(sampled.counts)[0].tolist())
+        assert sampled_support <= full_support
+
+    def test_accesses_counted(self):
+        blocks = _stationary_conflict_trace()
+        sampled = profile_blocks_sampled(blocks, 64, 12, window=1000, period=4)
+        assert sampled.accesses <= len(blocks)
+        assert sampled.accesses > 0
+
+    def test_empty_trace(self):
+        sampled = profile_blocks_sampled(
+            np.zeros(0, dtype=np.uint64), 64, 12, window=10, period=2
+        )
+        assert sampled.total_weight == 0
+
+    def test_validation(self):
+        blocks = np.zeros(4, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            profile_blocks_sampled(blocks, 64, 12, window=0)
+        with pytest.raises(ValueError):
+            profile_blocks_sampled(blocks, 64, 12, period=0)
+
+
+class TestSamplingQuality:
+    def test_stationary_trace_loses_nothing(self):
+        blocks = _stationary_conflict_trace()
+        report = sampling_quality(blocks, 256, 12, 8, period=4, window=1280)
+        assert report.sample_fraction < 0.5
+        # The sampled profile finds an equally good function here.
+        assert report.quality_loss_percent <= 5.0
+        assert report.full_profile_misses <= report.baseline_misses

@@ -1,0 +1,124 @@
+"""Tests for search families and their neighbourhoods."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.hashfn import XorHashFunction
+from repro.search.families import (
+    BitSelectFamily,
+    GeneralXorFamily,
+    PermutationFamily,
+    family_for_name,
+)
+
+
+class TestFamilyForName:
+    def test_paper_labels(self):
+        assert isinstance(family_for_name("1-in", 16, 8), BitSelectFamily)
+        assert isinstance(family_for_name("bit-select", 16, 8), BitSelectFamily)
+        perm2 = family_for_name("2-in", 16, 8)
+        assert isinstance(perm2, PermutationFamily) and perm2.max_fan_in == 2
+        perm4 = family_for_name("4-in", 16, 8)
+        assert perm4.max_fan_in == 4
+        perm16 = family_for_name("16-in", 16, 8)
+        assert isinstance(perm16, PermutationFamily) and perm16.max_fan_in is None
+        general = family_for_name("general", 16, 8)
+        assert isinstance(general, GeneralXorFamily) and general.max_fan_in is None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            family_for_name("3-ply", 16, 8)
+
+
+class TestStartPoints:
+    def test_all_start_at_modulo(self):
+        for family in (
+            BitSelectFamily(12, 6),
+            PermutationFamily(12, 6, 2),
+            GeneralXorFamily(12, 6),
+        ):
+            assert family.start() == XorHashFunction.modulo(12, 6)
+            assert family.contains(family.start())
+
+
+class TestPermutationFamily:
+    def test_candidates_stay_in_family(self):
+        family = PermutationFamily(12, 6, max_fan_in=2)
+        fn = family.start()
+        for c in range(fn.m):
+            for cand in family.column_candidates(fn, c):
+                candidate = fn.with_column(c, int(cand))
+                assert family.contains(candidate)
+                assert candidate.is_full_rank  # identity rows guarantee it
+
+    def test_candidate_count_2in(self):
+        """2-input: per column, the n-m high bits plus 'none', minus self."""
+        family = PermutationFamily(12, 6, max_fan_in=2)
+        fn = family.start()
+        assert len(family.column_candidates(fn, 0)) == 6  # (n-m+1) - 1
+
+    def test_candidate_count_unrestricted(self):
+        family = PermutationFamily(12, 6, max_fan_in=None)
+        fn = family.start()
+        assert len(family.column_candidates(fn, 0)) == (1 << 6) - 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PermutationFamily(12, 6, max_fan_in=0)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0))
+    def test_random_member(self, seed):
+        rng = np.random.default_rng(seed)
+        family = PermutationFamily(12, 6, max_fan_in=3)
+        fn = family.random_member(rng)
+        assert family.contains(fn) and fn.is_full_rank
+
+
+class TestBitSelectFamily:
+    def test_candidates_exclude_used_bits(self):
+        family = BitSelectFamily(8, 4)
+        fn = family.start()  # selects bits 0..3
+        candidates = family.column_candidates(fn, 0)
+        assert set(int(c) for c in candidates) == {1 << b for b in range(4, 8)}
+
+    def test_candidates_keep_full_rank(self):
+        family = BitSelectFamily(8, 4)
+        fn = family.start()
+        for c in range(4):
+            for cand in family.column_candidates(fn, c):
+                assert fn.with_column(c, int(cand)).is_full_rank
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0))
+    def test_random_member(self, seed):
+        rng = np.random.default_rng(seed)
+        fn = BitSelectFamily(10, 5).random_member(rng)
+        assert fn.is_bit_selecting and fn.is_full_rank
+
+
+class TestGeneralFamily:
+    def test_candidates_respect_fan_in(self):
+        family = GeneralXorFamily(10, 4, max_fan_in=2)
+        fn = family.start()
+        for c in range(4):
+            for cand in family.column_candidates(fn, c):
+                assert bin(int(cand)).count("1") <= 2
+
+    def test_candidates_within_hamming_two(self):
+        family = GeneralXorFamily(10, 4)
+        fn = family.start()
+        for cand in family.column_candidates(fn, 0):
+            assert bin(int(cand) ^ fn.columns[0]).count("1") <= 2
+
+    def test_fan_in_names(self):
+        assert GeneralXorFamily(16, 8).name == "general"
+        assert GeneralXorFamily(16, 8, max_fan_in=4).name == "4-in"
+        assert PermutationFamily(16, 8, 2).name == "perm-2in"
+        assert BitSelectFamily(16, 8).name == "bit-select"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneralXorFamily(10, 4, max_fan_in=0)

@@ -1,0 +1,120 @@
+"""Tests for the hill-climbing search (paper Sec. 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.gf2.hashfn import XorHashFunction
+from repro.profiling.conflict_profile import ConflictProfile, profile_blocks
+from repro.search.families import (
+    BitSelectFamily,
+    GeneralXorFamily,
+    PermutationFamily,
+)
+from repro.search.hill_climb import hill_climb, hill_climb_restarts
+
+
+def _profile_with(n, entries):
+    counts = np.zeros(1 << n, dtype=np.int64)
+    for vector, weight in entries:
+        counts[vector] = weight
+    return ConflictProfile(n, counts)
+
+
+class TestDescent:
+    def test_history_strictly_decreasing(self):
+        blocks = np.tile(
+            np.stack(
+                [k * 256 + np.arange(16, dtype=np.uint64) for k in range(4)], axis=1
+            ).reshape(-1),
+            10,
+        )
+        profile = profile_blocks(blocks, 64, 12)
+        result = hill_climb(profile, PermutationFamily(12, 6, 2))
+        for earlier, later in zip(result.history, result.history[1:]):
+            assert later < earlier
+
+    def test_removes_single_dominant_vector(self):
+        """One heavy conflict vector must leave the null space."""
+        n, m = 12, 6
+        heavy = 0b000001000001  # bits 0 and 6
+        profile = _profile_with(n, [(heavy, 1000)])
+        result = hill_climb(profile, PermutationFamily(n, m, 2))
+        assert result.estimated_misses == 0
+        assert heavy not in result.function.null_space()
+
+    def test_start_cost_is_modulo_cost(self):
+        n, m = 12, 6
+        # Vector with zero low bits is in the modulo null space.
+        profile = _profile_with(n, [(0b111000 << 6, 42)])
+        result = hill_climb(profile, PermutationFamily(n, m, 2))
+        assert result.start_misses == 42
+
+    def test_respects_max_steps(self):
+        blocks = np.tile(
+            np.stack(
+                [k * 256 + np.arange(16, dtype=np.uint64) for k in range(4)], axis=1
+            ).reshape(-1),
+            10,
+        )
+        profile = profile_blocks(blocks, 64, 12)
+        result = hill_climb(profile, PermutationFamily(12, 6, 2), max_steps=1)
+        assert result.steps <= 1
+
+    def test_result_in_family_and_full_rank(self):
+        n, m = 12, 6
+        profile = _profile_with(n, [(0b1000001, 10), (0b10000010, 20)])
+        for family in (
+            PermutationFamily(n, m, 2),
+            BitSelectFamily(n, m),
+            GeneralXorFamily(n, m, 2),
+        ):
+            result = hill_climb(profile, family)
+            assert family.contains(result.function)
+            assert result.function.is_full_rank
+
+    def test_zero_profile_stays_at_start(self):
+        n, m = 12, 6
+        profile = _profile_with(n, [])
+        result = hill_climb(profile, PermutationFamily(n, m, 2))
+        assert result.steps == 0
+        assert result.function == XorHashFunction.modulo(n, m)
+
+    def test_start_override(self):
+        n, m = 12, 6
+        family = PermutationFamily(n, m, 2)
+        start = XorHashFunction.from_sigma(n, m, [7, 8, 9, 10, 11, None])
+        profile = _profile_with(n, [])
+        result = hill_climb(profile, family, start=start)
+        assert result.function == start
+
+    def test_start_outside_family_rejected(self):
+        n, m = 12, 6
+        family = BitSelectFamily(n, m)
+        start = XorHashFunction.from_sigma(n, m, [7] * m)
+        with pytest.raises(ValueError):
+            hill_climb(_profile_with(n, []), family, start=start)
+
+
+class TestEstimatedRemoval:
+    def test_removed_fraction_reporting(self):
+        n, m = 12, 6
+        profile = _profile_with(n, [(0b1000000, 100)])  # e6: in modulo null space
+        result = hill_climb(profile, PermutationFamily(n, m, 2))
+        assert result.start_misses == 100
+        assert result.estimated_misses == 0
+        assert result.estimated_removed_fraction == 100.0
+
+
+class TestRestarts:
+    def test_restarts_never_worse(self):
+        blocks = np.tile(
+            np.stack(
+                [k * 256 + np.arange(16, dtype=np.uint64) for k in range(4)], axis=1
+            ).reshape(-1),
+            10,
+        )
+        profile = profile_blocks(blocks, 64, 12)
+        family = PermutationFamily(12, 6, 2)
+        single = hill_climb(profile, family)
+        multi = hill_climb_restarts(profile, family, restarts=4, seed=1)
+        assert multi.estimated_misses <= single.estimated_misses

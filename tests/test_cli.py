@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize", "mibench", "fft"])
+        assert args.family == "2-in" and args.cache_kb == 4
+        assert args.kind == "data" and not args.guard
+
+
+class TestCommands:
+    def test_workloads_lists_suites(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "mibench:" in out and "powerstone:" in out
+        assert "rijndael" in out and "ucbqsort" in out
+
+    def test_optimize_runs(self, capsys):
+        code = main(
+            ["optimize", "powerstone", "qurt", "--scale", "tiny", "--cache-kb", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removes" in out and "s0 =" in out
+
+    def test_optimize_guard_flag(self, capsys):
+        code = main(
+            ["optimize", "mibench", "dijkstra", "--scale", "tiny", "--guard"]
+        )
+        assert code == 0
+
+    def test_classify_runs(self, capsys):
+        code = main(["classify", "powerstone", "fir", "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compulsory" in out and "conflict" in out
+
+    def test_tables_subset(self, capsys):
+        code = main(["tables", "--only", "table1", "counting"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Eq. 3" in out
+
+    def test_instruction_kind(self, capsys):
+        code = main(
+            ["optimize", "mibench", "dijkstra", "--scale", "tiny",
+             "--kind", "instruction", "--cache-kb", "1"]
+        )
+        assert code == 0

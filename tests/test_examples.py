@@ -1,0 +1,44 @@
+"""Smoke tests over the example scripts.
+
+Each example must be importable (no work at import time) and expose a
+runnable entry point.  The cheapest example is executed end to end.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_importable_with_main(path):
+    module = _load(path)
+    assert hasattr(module, "main") or hasattr(module, "tune_suite")
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 4  # quickstart + >=3 scenarios
+
+
+def test_reconfigurable_hardware_example_runs():
+    result = subprocess.run(
+        [sys.executable, "examples/reconfigurable_hardware.py"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=Path(__file__).parent.parent,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Table 1" in result.stdout
+    assert "reconfiguration in action" in result.stdout

@@ -1,0 +1,53 @@
+"""Round-trip tests for trace persistence."""
+
+import numpy as np
+
+from repro.trace.io import load_trace, load_trace_text, save_trace, save_trace_text
+from repro.trace.trace import Trace
+
+
+def _sample():
+    return Trace(
+        np.array([0, 4, 0xDEADBEEF], dtype=np.uint64),
+        uops=42,
+        name="sample",
+        kind="instruction",
+        metadata={"origin": "unit-test"},
+    )
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        original = _sample()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert (loaded.addresses == original.addresses).all()
+        assert loaded.uops == original.uops
+        assert loaded.name == original.name
+        assert loaded.kind == original.kind
+        assert loaded.metadata == original.metadata
+
+
+class TestTextRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        original = _sample()
+        save_trace_text(original, path)
+        loaded = load_trace_text(path)
+        assert (loaded.addresses == original.addresses).all()
+        assert loaded.uops == original.uops
+        assert loaded.name == original.name
+        assert loaded.kind == original.kind
+
+    def test_text_format_is_hex_lines(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace_text(Trace([255]), path)
+        lines = path.read_text().splitlines()
+        assert "ff" in lines
+
+    def test_ignores_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# name: x\n\n10\n\n20\n")
+        loaded = load_trace_text(path)
+        assert loaded.addresses.tolist() == [16, 32]

@@ -1,0 +1,24 @@
+"""Tests for trace summaries."""
+
+from repro.trace.stats import summarize
+from repro.trace.trace import Trace
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        tr = Trace([0, 4, 8, 8], uops=100, name="t", kind="data")
+        s = summarize(tr, block_size=4)
+        assert s.references == 4
+        assert s.uops == 100
+        assert s.unique_blocks == 3
+        assert s.footprint_bytes == 12
+        assert s.min_address == 0
+        assert s.max_address == 8
+
+    def test_empty_trace(self):
+        s = summarize(Trace([], uops=1))
+        assert s.references == 0 and s.unique_blocks == 0
+
+    def test_format_mentions_name(self):
+        s = summarize(Trace([0], name="fft"))
+        assert "fft" in s.format()

@@ -1,0 +1,75 @@
+"""Tests for synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.trace.synth import (
+    interleaved,
+    matrix_column_walk,
+    pingpong,
+    random_uniform,
+    repeat,
+    sequential,
+    strided,
+)
+from repro.trace.trace import Trace
+
+
+class TestBasicGenerators:
+    def test_sequential(self):
+        tr = sequential(4, base=100, step=4)
+        assert tr.addresses.tolist() == [100, 104, 108, 112]
+
+    def test_strided(self):
+        tr = strided(3, stride=1024, base=8)
+        assert tr.addresses.tolist() == [8, 1032, 2056]
+
+    def test_pingpong(self):
+        tr = pingpong(0, 64, repeats=3)
+        assert tr.addresses.tolist() == [0, 64, 0, 64, 0, 64]
+
+
+class TestInterleaved:
+    def test_round_robin_order(self):
+        a = np.array([0, 4], dtype=np.uint64)
+        b = np.array([100, 104], dtype=np.uint64)
+        tr = interleaved([a, b])
+        assert tr.addresses.tolist() == [0, 100, 4, 104]
+
+    def test_rejects_unequal_lengths(self):
+        with pytest.raises(ValueError):
+            interleaved([np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.uint64)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            interleaved([])
+
+
+class TestMatrixWalk:
+    def test_column_major_addresses(self):
+        tr = matrix_column_walk(rows=2, cols=2, row_pitch_bytes=256, element_size=4)
+        # column 0: (r0,c0), (r1,c0); column 1: (r0,c1), (r1,c1)
+        assert tr.addresses.tolist() == [0, 256, 4, 260]
+
+    def test_power_of_two_pitch_conflicts(self):
+        """All elements of a column share the modulo index."""
+        tr = matrix_column_walk(rows=8, cols=1, row_pitch_bytes=1024)
+        blocks = tr.block_addresses(4)
+        assert len({int(b) % 256 for b in blocks}) == 1
+
+
+class TestRandomAndRepeat:
+    def test_random_uniform_within_footprint(self):
+        rng = np.random.default_rng(0)
+        tr = random_uniform(1000, footprint_bytes=4096, rng=rng)
+        assert tr.addresses.max() < 4096
+        assert (tr.addresses % 4 == 0).all()
+
+    def test_repeat(self):
+        tr = repeat(Trace([1, 2], uops=10), 3)
+        assert tr.addresses.tolist() == [1, 2, 1, 2, 1, 2]
+        assert tr.uops == 30
+
+    def test_repeat_rejects_zero(self):
+        with pytest.raises(ValueError):
+            repeat(Trace([1]), 0)

@@ -1,0 +1,71 @@
+"""Tests for the Trace type."""
+
+import numpy as np
+import pytest
+
+from repro.trace.trace import Trace
+
+
+class TestConstruction:
+    def test_coerces_dtype(self):
+        tr = Trace([1, 2, 3])
+        assert tr.addresses.dtype == np.uint64
+        assert len(tr) == 3
+
+    def test_default_uops(self):
+        assert Trace([1, 2, 3]).uops == 3
+
+    def test_explicit_uops(self):
+        assert Trace([1, 2], uops=10).uops == 10
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            Trace([1], kind="mystery")
+
+    def test_rejects_negative_uops(self):
+        with pytest.raises(ValueError):
+            Trace([1], uops=-5)
+
+
+class TestBlocks:
+    def test_block_addresses(self):
+        tr = Trace([0, 4, 8, 9])
+        assert tr.block_addresses(4).tolist() == [0, 1, 2, 2]
+
+    def test_block_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            Trace([0]).block_addresses(3)
+
+    def test_unique_blocks_and_footprint(self):
+        tr = Trace([0, 1, 2, 3, 4])
+        assert tr.unique_blocks(4) == 2
+        assert tr.footprint_bytes(4) == 8
+
+
+class TestManipulation:
+    def test_head_truncates_and_scales_uops(self):
+        tr = Trace(np.arange(100), uops=1000)
+        head = tr.head(10)
+        assert len(head) == 10
+        assert head.uops == 100
+        assert head.metadata["truncated_from"] == 100
+
+    def test_head_no_op_when_longer(self):
+        tr = Trace([1, 2])
+        assert tr.head(10) is tr
+
+    def test_concat(self):
+        a = Trace([1, 2], uops=5, name="a")
+        b = Trace([3], uops=7, name="b")
+        joined = a.concat(b)
+        assert joined.addresses.tolist() == [1, 2, 3]
+        assert joined.uops == 12
+        assert joined.name == "a+b"
+
+    def test_concat_mixed_kind_is_unified(self):
+        a = Trace([1], kind="data")
+        b = Trace([2], kind="instruction")
+        assert a.concat(b).kind == "unified"
+
+    def test_repr(self):
+        assert "refs=2" in repr(Trace([1, 2], name="x"))

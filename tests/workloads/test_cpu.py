@@ -1,0 +1,82 @@
+"""Tests for the trace builder and code-image model."""
+
+import pytest
+
+from repro.workloads.cpu import CodeImage, TraceBuilder, WorkloadRun
+from repro.workloads.layout import MemoryLayout
+
+
+class TestTraceBuilder:
+    def test_loads_and_stores_counted(self):
+        builder = TraceBuilder("t")
+        builder.load(0x100)
+        builder.store(0x104)
+        builder.alu(3)
+        trace = builder.data_trace()
+        assert trace.addresses.tolist() == [0x100, 0x104]
+        assert trace.uops == 5
+        assert trace.kind == "data"
+
+    def test_access_array(self):
+        import numpy as np
+
+        builder = TraceBuilder("t")
+        builder.access_array(np.array([4, 8], dtype=np.uint64), uops_per_access=2)
+        assert builder.data_trace().addresses.tolist() == [4, 8]
+        assert builder.uops == 4
+
+    def test_instruction_trace(self):
+        builder = TraceBuilder("t")
+        builder.fetch_block(0x1000, 3)
+        trace = builder.instruction_trace()
+        assert trace.addresses.tolist() == [0x1000, 0x1004, 0x1008]
+        assert trace.kind == "instruction"
+
+    def test_empty_instruction_trace(self):
+        assert len(TraceBuilder("t").instruction_trace()) == 0
+
+
+class TestCodeImage:
+    def test_blocks_allocated_in_text(self):
+        layout = MemoryLayout()
+        code = CodeImage(layout)
+        code.block("f", 4)
+        base = code.address_of("f")
+        assert base >= MemoryLayout.SEGMENT_BASES["text"]
+        assert code.instructions_of("f") == 4
+
+    def test_padding_separates_blocks(self):
+        layout = MemoryLayout()
+        code = CodeImage(layout)
+        code.block("a", 4)
+        code.block("b", 4, padding=1000)
+        gap = code.address_of("b") - (code.address_of("a") + 16)
+        assert gap >= 1000
+
+    def test_run_emits_fetches_and_uops(self):
+        layout = MemoryLayout()
+        code = CodeImage(layout)
+        code.block("loop", 5)
+        builder = TraceBuilder("t")
+        code.run(builder, "loop", times=2)
+        trace = builder.instruction_trace()
+        assert len(trace) == 10
+        assert builder.uops == 10
+
+    def test_zero_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            CodeImage(MemoryLayout()).block("empty", 0)
+
+
+class TestWorkloadRun:
+    def test_trace_selector(self):
+        builder = TraceBuilder("w")
+        builder.load(4)
+        builder.fetch_block(0x1000, 1)
+        run = WorkloadRun(builder, {"param": 1})
+        assert run.trace("data").kind == "data"
+        assert run.trace("instruction").kind == "instruction"
+        with pytest.raises(ValueError):
+            run.trace("unified")
+        assert run.parameters == {"param": 1}
+        assert "refs" in repr(run)

@@ -1,0 +1,79 @@
+"""Tests for the memory-layout allocator."""
+
+import pytest
+
+from repro.workloads.layout import MemoryLayout, Region
+
+
+class TestRegion:
+    def test_addressing(self):
+        region = Region("a", base=0x1000, size=64, element_size=4)
+        assert region.addr(0) == 0x1000
+        assert region.addr(15) == 0x103C
+        assert region.num_elements == 16
+        assert region.end == 0x1040
+
+    def test_bounds_checked(self):
+        region = Region("a", base=0x1000, size=64)
+        with pytest.raises(IndexError):
+            region.addr(16)
+        with pytest.raises(IndexError):
+            region.byte(64)
+
+    def test_2d_addressing(self):
+        region = Region("m", base=0, size=64, element_size=4)
+        assert region.addr2(1, 2, row_elements=4) == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Region("bad", base=0, size=0)
+        with pytest.raises(ValueError):
+            Region("bad", base=0, size=4, element_size=0)
+
+
+class TestMemoryLayout:
+    def test_segments_are_disjoint(self):
+        layout = MemoryLayout()
+        code = layout.alloc("code", 256, segment="text")
+        data = layout.alloc("data1", 256, segment="data")
+        heap = layout.alloc("heap1", 256, segment="heap")
+        stack = layout.alloc_stack("frame", 256)
+        regions = [code, data, heap, stack]
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                assert a.end <= b.base or b.end <= a.base
+
+    def test_sequential_non_overlap(self):
+        layout = MemoryLayout()
+        a = layout.alloc("a", 100)
+        b = layout.alloc("b", 100)
+        assert b.base >= a.end
+
+    def test_alignment(self):
+        layout = MemoryLayout()
+        layout.alloc("pad", 10)
+        aligned = layout.alloc("aligned", 64, align=4096)
+        assert aligned.base % 4096 == 0
+
+    def test_stack_grows_down(self):
+        layout = MemoryLayout()
+        first = layout.alloc_stack("f1", 64)
+        second = layout.alloc_stack("f2", 64)
+        assert second.base < first.base
+
+    def test_duplicate_names_rejected(self):
+        layout = MemoryLayout()
+        layout.alloc("x", 4)
+        with pytest.raises(ValueError):
+            layout.alloc("x", 4)
+        with pytest.raises(ValueError):
+            layout.alloc_stack("x", 4)
+
+    def test_unknown_segment(self):
+        with pytest.raises(ValueError):
+            MemoryLayout().alloc("y", 4, segment="rodata")
+
+    def test_getitem(self):
+        layout = MemoryLayout()
+        region = layout.alloc("z", 4)
+        assert layout["z"] is region
