@@ -1,0 +1,201 @@
+"""Engine vs reference-simulator throughput (accesses/sec).
+
+Two entry points:
+
+* ``python benchmarks/bench_engine.py`` — standalone: times every
+  organization, prints a table, writes ``BENCH_engine.json`` and exits
+  non-zero if the vectorized direct-mapped engine fails the >= 10x
+  speedup floor over the scalar reference loop;
+* ``pytest benchmarks/bench_engine.py`` — pytest-benchmark variant for
+  trend tracking alongside the other bench modules.
+
+Every case asserts the engine's stats equal the scalar oracle's on
+the full trace, and that same full scalar replay provides the
+reference timing — identical work on both sides.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache.engine import evaluate_many
+from repro.cache.direct_mapped import (
+    simulate_direct_mapped,
+    simulate_direct_mapped_scalar,
+)
+from repro.cache.fully_assoc import (
+    simulate_fully_associative,
+    simulate_fully_associative_scalar,
+)
+from repro.cache.geometry import CacheGeometry
+from repro.cache.indexing import ModuloIndexing, XorIndexing
+from repro.cache.set_assoc import (
+    simulate_set_associative,
+    simulate_set_associative_scalar,
+)
+from repro.cache.skewed import simulate_skewed, simulate_skewed_scalar
+from repro.gf2.hashfn import XorHashFunction
+
+M = 10  # 4 KB direct-mapped, 4-byte blocks
+
+
+def make_blocks(refs: int, seed: int = 42) -> np.ndarray:
+    """Loop + random mix resembling the paper's kernel traces."""
+    rng = np.random.default_rng(seed)
+    loops = np.tile(np.arange(400, dtype=np.uint64), max(1, refs // (2 * 400)))
+    noise = rng.integers(0, 1 << 14, size=refs - len(loops)).astype(np.uint64)
+    return np.concatenate([loops, noise])
+
+
+def make_hash(m: int = M) -> XorHashFunction:
+    return XorHashFunction.random(16, m, np.random.default_rng(7))
+
+
+def _rate(fn, *args, repeats: int = 3) -> tuple[float, object]:
+    """Best-of-``repeats`` throughput in accesses/sec."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return len(args[0]) / best, result
+
+
+def run(refs: int, candidates: int) -> dict:
+    blocks = make_blocks(refs)
+    xor = XorIndexing(make_hash())
+    geometry = CacheGeometry.direct_mapped((1 << M) * 4)
+    two_way = CacheGeometry((1 << M) * 4, block_size=4, associativity=2)
+    xor_two_way = XorIndexing(make_hash(two_way.index_bits))
+    banks = [ModuloIndexing(M - 1), XorIndexing(make_hash(M - 1))]
+    results: dict = {"accesses": refs, "cases": {}}
+
+    cases = [
+        ("direct_mapped_xor", simulate_direct_mapped,
+         simulate_direct_mapped_scalar, (xor,)),
+        ("direct_mapped_modulo", simulate_direct_mapped,
+         simulate_direct_mapped_scalar, (ModuloIndexing(M),)),
+        ("two_way_lru_xor", simulate_set_associative,
+         simulate_set_associative_scalar, (two_way, xor_two_way)),
+        ("fully_associative", simulate_fully_associative,
+         simulate_fully_associative_scalar, (1 << M,)),
+        ("skewed_two_bank", simulate_skewed, simulate_skewed_scalar, (banks, 0)),
+    ]
+    for name, engine_fn, scalar_fn, extra in cases:
+        rate, stats = _rate(engine_fn, blocks, *extra)
+        scalar_rate, scalar_stats = _rate(scalar_fn, blocks, *extra, repeats=1)
+        assert stats == scalar_stats, f"{name}: engine != reference"
+        results["cases"][name] = {
+            "engine_accesses_per_sec": round(rate),
+            "reference_accesses_per_sec": round(scalar_rate),
+            "speedup": round(rate / scalar_rate, 2),
+        }
+
+    functions = [
+        XorHashFunction.random(16, M, np.random.default_rng(s))
+        for s in range(candidates)
+    ]
+    t0 = time.perf_counter()
+    batched = evaluate_many(blocks, geometry, functions)
+    batched_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sequential = [simulate_direct_mapped(blocks, XorIndexing(f)) for f in functions]
+    sequential_s = time.perf_counter() - t0
+    assert batched == sequential, "evaluate_many != sequential simulation"
+    results["cases"]["evaluate_many"] = {
+        "candidates": candidates,
+        "batched_sec": round(batched_s, 4),
+        "sequential_sec": round(sequential_s, 4),
+        "speedup": round(sequential_s / batched_s, 2),
+    }
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--refs", type=int, default=500_000)
+    parser.add_argument("--candidates", type=int, default=16)
+    parser.add_argument(
+        "--output", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=10.0,
+        help="required direct-mapped engine speedup over the scalar loop",
+    )
+    args = parser.parse_args(argv)
+    results = run(args.refs, args.candidates)
+
+    width = max(len(name) for name in results["cases"])
+    for name, case in results["cases"].items():
+        if "engine_accesses_per_sec" in case:
+            print(
+                f"{name.rjust(width)}  engine {case['engine_accesses_per_sec']/1e6:8.2f} M/s"
+                f"  reference {case['reference_accesses_per_sec']/1e6:8.3f} M/s"
+                f"  speedup {case['speedup']:8.1f}x"
+            )
+        else:
+            print(
+                f"{name.rjust(width)}  batched {case['batched_sec']:.3f}s"
+                f"  sequential {case['sequential_sec']:.3f}s"
+                f"  speedup {case['speedup']:8.1f}x  ({case['candidates']} candidates)"
+            )
+    dm = results["cases"]["direct_mapped_xor"]["speedup"]
+    results["direct_mapped_speedup"] = dm
+    results["min_speedup_required"] = args.min_speedup
+    results["passed"] = dm >= args.min_speedup
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    if not results["passed"]:
+        print(
+            f"FAIL: direct-mapped engine speedup {dm:.1f}x < {args.min_speedup:.0f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: direct-mapped engine speedup {dm:.1f}x >= {args.min_speedup:.0f}x")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark variant
+# ---------------------------------------------------------------------------
+
+
+def test_engine_direct_mapped_throughput(benchmark):
+    blocks = make_blocks(200_000)
+    xor = XorIndexing(make_hash())
+    stats = benchmark(simulate_direct_mapped, blocks, xor)
+    assert stats.accesses == len(blocks)
+
+
+def test_engine_beats_reference_10x(benchmark):
+    blocks = make_blocks(200_000)
+    xor = XorIndexing(make_hash())
+    engine_rate, stats = _rate(simulate_direct_mapped, blocks, xor)
+    scalar_rate, _ = _rate(simulate_direct_mapped_scalar, blocks[:20_000], xor, repeats=1)
+    benchmark.extra_info["speedup"] = engine_rate / scalar_rate
+    benchmark(simulate_direct_mapped, blocks, xor)
+    assert engine_rate >= 10 * scalar_rate
+    assert stats == simulate_direct_mapped_scalar(blocks, xor)
+
+
+def test_evaluate_many_matches_sequential(benchmark):
+    blocks = make_blocks(100_000)
+    geometry = CacheGeometry.direct_mapped((1 << M) * 4)
+    functions = [
+        XorHashFunction.random(16, M, np.random.default_rng(s)) for s in range(8)
+    ]
+    batched = benchmark(evaluate_many, blocks, geometry, functions)
+    assert batched == [
+        simulate_direct_mapped(blocks, XorIndexing(f)) for f in functions
+    ]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,7 +6,16 @@ from repro.cache.direct_mapped import (
     simulate_direct_mapped,
     simulate_direct_mapped_scalar,
 )
-from repro.cache.fully_assoc import simulate_fully_associative
+from repro.cache.engine import (
+    evaluate_many,
+    simulate,
+    simulate_banks,
+    simulate_capacity,
+)
+from repro.cache.fully_assoc import (
+    simulate_fully_associative,
+    simulate_fully_associative_scalar,
+)
 from repro.cache.geometry import PAPER_GEOMETRIES, PAPER_HASHED_BITS, CacheGeometry
 from repro.cache.indexing import (
     BitSelectIndexing,
@@ -14,8 +23,11 @@ from repro.cache.indexing import (
     ModuloIndexing,
     XorIndexing,
 )
-from repro.cache.set_assoc import simulate_set_associative
-from repro.cache.skewed import simulate_skewed
+from repro.cache.set_assoc import (
+    simulate_set_associative,
+    simulate_set_associative_scalar,
+)
+from repro.cache.skewed import simulate_skewed, simulate_skewed_scalar
 from repro.cache.stats import CacheStats
 
 __all__ = [
@@ -27,12 +39,19 @@ __all__ = [
     "ModuloIndexing",
     "BitSelectIndexing",
     "XorIndexing",
+    "simulate",
+    "simulate_banks",
+    "simulate_capacity",
+    "evaluate_many",
     "simulate_direct_mapped",
     "simulate_direct_mapped_scalar",
     "miss_vector_direct_mapped",
     "simulate_set_associative",
+    "simulate_set_associative_scalar",
     "simulate_fully_associative",
+    "simulate_fully_associative_scalar",
     "simulate_skewed",
+    "simulate_skewed_scalar",
     "MissBreakdown",
     "classify_misses",
 ]

@@ -1,22 +1,18 @@
 """Direct-mapped cache simulation.
 
-Two interchangeable engines:
+Thin wrappers over :mod:`repro.cache.engine`'s vectorized sort kernel,
+plus :func:`simulate_direct_mapped_scalar` — the obvious frame-array
+loop, kept as the oracle the engine is property-tested against.
 
-* :func:`simulate_direct_mapped` — vectorized.  Stable-sorts references
-  by set index (preserving program order inside each set) and counts tag
-  changes within each set's run.  A direct-mapped set holds exactly the
-  most recent tag, so an access misses iff it is the first to its set or
-  its tag differs from the immediately preceding access to that set.
-* :func:`simulate_direct_mapped_scalar` — the obvious frame-array loop,
-  kept as the oracle for property tests.
-
-Both return identical :class:`~repro.cache.stats.CacheStats`.
+All entry points return identical :class:`~repro.cache.stats.CacheStats`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cache.engine.core import direct_mapped_miss_vector
+from repro.cache.engine.dispatch import stats_from_misses
 from repro.cache.indexing import IndexingPolicy
 from repro.cache.stats import CacheStats
 
@@ -30,33 +26,22 @@ __all__ = [
 def miss_vector_direct_mapped(
     blocks: np.ndarray, indexing: IndexingPolicy
 ) -> np.ndarray:
-    """Boolean per-reference miss vector for a direct-mapped cache."""
+    """Boolean per-reference miss vector for a direct-mapped cache.
+
+    The block address is used as the within-set key — valid because
+    every indexing policy keeps (set index, tag) jointly bijective — so
+    no tag stream is computed at all.
+    """
     blocks = np.asarray(blocks, dtype=np.uint64)
-    count = len(blocks)
-    if count == 0:
+    if len(blocks) == 0:
         return np.zeros(0, dtype=bool)
-    idx, tags = indexing.split_array(blocks)
-    order = np.argsort(idx, kind="stable")
-    sorted_idx = idx[order]
-    sorted_tags = tags[order]
-    miss_sorted = np.empty(count, dtype=bool)
-    miss_sorted[0] = True
-    same_set = sorted_idx[1:] == sorted_idx[:-1]
-    same_tag = sorted_tags[1:] == sorted_tags[:-1]
-    miss_sorted[1:] = ~(same_set & same_tag)
-    misses = np.empty(count, dtype=bool)
-    misses[order] = miss_sorted
-    return misses
+    return direct_mapped_miss_vector(indexing.set_index_array(blocks), blocks)
 
 
 def simulate_direct_mapped(blocks: np.ndarray, indexing: IndexingPolicy) -> CacheStats:
     """Vectorized direct-mapped simulation of a block-address trace."""
     blocks = np.asarray(blocks, dtype=np.uint64)
-    misses = miss_vector_direct_mapped(blocks, indexing)
-    compulsory = int(np.unique(blocks).size) if len(blocks) else 0
-    return CacheStats(
-        accesses=len(blocks), misses=int(misses.sum()), compulsory=compulsory
-    )
+    return stats_from_misses(blocks, miss_vector_direct_mapped(blocks, indexing))
 
 
 def simulate_direct_mapped_scalar(

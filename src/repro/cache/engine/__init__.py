@@ -1,0 +1,53 @@
+"""Unified array-based cache simulation engine.
+
+One simulation core serves every cache organization in the package:
+
+* :func:`simulate` — geometry-dispatched replay (direct-mapped cache
+  via the fully vectorized sort kernel, set-associative / fully
+  associative via the grouped per-set LRU scan);
+* :func:`simulate_capacity` — fully-associative LRU with an arbitrary
+  (non-power-of-two) frame count;
+* :func:`simulate_banks` — skewed cache with per-bank hash functions;
+* :func:`evaluate_many` — exact verification of a whole candidate
+  front of hash functions in one batched trace replay.
+
+The public simulators in :mod:`repro.cache.direct_mapped`,
+:mod:`repro.cache.set_assoc`, :mod:`repro.cache.fully_assoc` and
+:mod:`repro.cache.skewed` are thin wrappers over this engine; their old
+per-access loops survive as ``*_scalar`` reference oracles the property
+tests cross-check the engine against.
+"""
+
+from repro.cache.engine.batched import (
+    evaluate_many,
+    misses_for_index_streams,
+    stacked_index_streams,
+)
+from repro.cache.engine.core import (
+    compulsory_count,
+    direct_mapped_miss_vector,
+    group_by_set,
+    lru_miss_vector,
+    skewed_miss_vector,
+)
+from repro.cache.engine.dispatch import (
+    simulate,
+    simulate_banks,
+    simulate_capacity,
+    stats_from_misses,
+)
+
+__all__ = [
+    "simulate",
+    "simulate_banks",
+    "simulate_capacity",
+    "stats_from_misses",
+    "evaluate_many",
+    "stacked_index_streams",
+    "misses_for_index_streams",
+    "direct_mapped_miss_vector",
+    "lru_miss_vector",
+    "skewed_miss_vector",
+    "group_by_set",
+    "compulsory_count",
+]

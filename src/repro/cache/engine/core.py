@@ -1,0 +1,159 @@
+"""Array kernels shared by every cache organization.
+
+The kernels operate on two parallel streams derived from a block trace:
+
+* ``set_ids`` — per-access set identity.  Any integer array works; the
+  values need not be compact (a bit-selection mask applied to the block
+  address is a valid set identity, as is a hashed index).
+* ``keys``    — per-access block identity *within* a set.  Because every
+  indexing policy in the package keeps (set index, tag) jointly
+  bijective, the full block address is always a valid key, which lets
+  callers skip computing tags entirely.
+
+All kernels return a per-access boolean miss vector in program order,
+so the simulators, the three-Cs classifier and the property tests share
+one contract.  The replacement behaviour is bit-identical to the scalar
+reference simulators kept in :mod:`repro.cache.direct_mapped`,
+:mod:`repro.cache.set_assoc`, :mod:`repro.cache.fully_assoc` and
+:mod:`repro.cache.skewed`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "direct_mapped_miss_vector",
+    "lru_miss_vector",
+    "skewed_miss_vector",
+    "compulsory_count",
+    "group_by_set",
+]
+
+
+def direct_mapped_miss_vector(set_ids: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Miss vector for one frame per set, fully vectorized.
+
+    Stable-sorting by set identity preserves program order inside each
+    set's subsequence, and a direct-mapped set holds exactly the most
+    recent block: an access misses iff it is the first to its set or its
+    key differs from the immediately preceding access to that set.
+    """
+    count = len(set_ids)
+    if count == 0:
+        return np.zeros(0, dtype=bool)
+    order = np.argsort(set_ids, kind="stable")
+    sorted_ids = set_ids[order]
+    sorted_keys = keys[order]
+    miss_sorted = np.empty(count, dtype=bool)
+    miss_sorted[0] = True
+    miss_sorted[1:] = (sorted_ids[1:] != sorted_ids[:-1]) | (
+        sorted_keys[1:] != sorted_keys[:-1]
+    )
+    misses = np.empty(count, dtype=bool)
+    misses[order] = miss_sorted
+    return misses
+
+
+def group_by_set(set_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group accesses by set: (stable order, group starts, group ends).
+
+    ``order`` permutes accesses so each set's references are contiguous
+    and in program order; ``starts[g]:ends[g]`` delimits group ``g`` in
+    that permutation.
+    """
+    order = np.argsort(set_ids, kind="stable")
+    sorted_ids = set_ids[order]
+    boundaries = np.flatnonzero(sorted_ids[1:] != sorted_ids[:-1]) + 1
+    starts = np.concatenate([np.zeros(1, dtype=np.intp), boundaries])
+    ends = np.append(boundaries, len(set_ids))
+    return order, starts, ends
+
+
+def lru_miss_vector(set_ids: np.ndarray, keys: np.ndarray, ways: int) -> np.ndarray:
+    """Miss vector for an LRU set-associative cache.
+
+    Sets are independent, so accesses are grouped per set (one
+    vectorized stable sort) and the LRU scan runs over each set's tiny
+    subsequence instead of the whole trace.  The per-group scan works on
+    a plain Python list (one bulk conversion) rather than indexing the
+    numpy array element by element.
+    """
+    if ways < 1:
+        raise ValueError(f"ways must be >= 1, got {ways}")
+    if ways == 1:
+        return direct_mapped_miss_vector(set_ids, keys)
+    count = len(set_ids)
+    if count == 0:
+        return np.zeros(0, dtype=bool)
+    order, starts, ends = group_by_set(set_ids)
+    key_list = keys[order].tolist()
+    flags: list[bool] = []
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        lru: OrderedDict = OrderedDict()
+        move_to_end = lru.move_to_end
+        pop_oldest = lru.popitem
+        for i in range(start, end):
+            key = key_list[i]
+            if key in lru:
+                move_to_end(key)
+                flags.append(False)
+            else:
+                if len(lru) >= ways:
+                    pop_oldest(last=False)
+                lru[key] = None
+                flags.append(True)
+    misses = np.empty(count, dtype=bool)
+    misses[order] = np.array(flags, dtype=bool)
+    return misses
+
+
+def skewed_miss_vector(
+    bank_set_ids: Sequence[np.ndarray], keys: np.ndarray, seed: int = 0
+) -> np.ndarray:
+    """Miss vector for a skewed cache (one frame per set per bank).
+
+    Banks share state through the victim choice, so the scan is
+    inherently sequential; the engine keeps it fast by precomputing
+    every bank's index stream (vectorized upstream), drawing all victim
+    choices in one RNG call, and bulk-converting the streams to Python
+    lists so the inner loop does no numpy scalar access.  Victim
+    consumption matches the reference simulator, so results are
+    bit-identical under the same seed.
+    """
+    num_banks = len(bank_set_ids)
+    if num_banks < 2:
+        raise ValueError("a skewed cache needs at least two banks")
+    count = len(keys)
+    if count == 0:
+        return np.zeros(0, dtype=bool)
+    rng = np.random.default_rng(seed)
+    victims = rng.integers(0, num_banks, size=count).tolist()
+    id_lists = [np.asarray(ids).tolist() for ids in bank_set_ids]
+    key_list = keys.tolist()
+    banks: list[dict] = [{} for _ in range(num_banks)]
+    flags: list[bool] = []
+    for i in range(count):
+        key = key_list[i]
+        for b in range(num_banks):
+            if banks[b].get(id_lists[b][i]) == key:
+                flags.append(False)
+                break
+        else:
+            flags.append(True)
+            victim = victims[i]
+            banks[victim][id_lists[victim][i]] = key
+    return np.array(flags, dtype=bool)
+
+
+def compulsory_count(keys: np.ndarray) -> int:
+    """Number of first-touch misses.
+
+    Every organization in the package identifies blocks exactly (tags
+    are bijective given the set index), so the first access to a block
+    always misses and the compulsory count is the distinct-block count.
+    """
+    return int(np.unique(keys).size) if len(keys) else 0

@@ -1,0 +1,100 @@
+"""Organization dispatch: one entry point for every cache shape.
+
+:func:`simulate` is the front door the thin simulator wrappers and the
+``core`` layer route through.  It derives the (set identity, key)
+streams once from the indexing policy and hands them to the matching
+kernel in :mod:`repro.cache.engine.core`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cache.engine.core import (
+    compulsory_count,
+    direct_mapped_miss_vector,
+    lru_miss_vector,
+    skewed_miss_vector,
+)
+from repro.cache.geometry import CacheGeometry
+from repro.cache.indexing import IndexingPolicy, ModuloIndexing
+from repro.cache.stats import CacheStats
+
+__all__ = ["simulate", "simulate_banks", "simulate_capacity", "stats_from_misses"]
+
+
+def stats_from_misses(blocks: np.ndarray, misses: np.ndarray) -> CacheStats:
+    """Assemble :class:`CacheStats` from a per-access miss vector."""
+    return CacheStats(
+        accesses=len(blocks),
+        misses=int(np.count_nonzero(misses)),
+        compulsory=compulsory_count(blocks),
+    )
+
+
+def simulate(
+    blocks: np.ndarray,
+    geometry: CacheGeometry,
+    indexing: IndexingPolicy | None = None,
+) -> CacheStats:
+    """Replay a block trace through a cache of the given geometry.
+
+    ``indexing`` defaults to modulo on the geometry's index bits.
+    Dispatches to the vectorized direct-mapped kernel when
+    ``associativity == 1`` and to the grouped LRU kernel otherwise
+    (full associativity is the single-set special case).
+    """
+    if indexing is None:
+        indexing = ModuloIndexing(geometry.index_bits)
+    if indexing.num_sets != geometry.num_sets:
+        raise ValueError(
+            f"indexing produces {indexing.num_sets} sets but geometry has "
+            f"{geometry.num_sets}"
+        )
+    blocks = np.asarray(blocks, dtype=np.uint64)
+    if len(blocks) == 0:
+        return CacheStats(accesses=0, misses=0)
+    set_ids = indexing.set_index_array(blocks)
+    if geometry.is_direct_mapped:
+        misses = direct_mapped_miss_vector(set_ids, blocks)
+    else:
+        misses = lru_miss_vector(set_ids, blocks, geometry.associativity)
+    return stats_from_misses(blocks, misses)
+
+
+def simulate_capacity(blocks: np.ndarray, capacity_blocks: int) -> CacheStats:
+    """Fully-associative LRU cache of ``capacity_blocks`` frames.
+
+    Capacity need not be a power of two (unlike :class:`CacheGeometry`),
+    matching the historical ``simulate_fully_associative`` contract.
+    """
+    if capacity_blocks < 1:
+        raise ValueError(f"capacity must be >= 1 block, got {capacity_blocks}")
+    blocks = np.asarray(blocks, dtype=np.uint64)
+    if len(blocks) == 0:
+        return CacheStats(accesses=0, misses=0)
+    set_ids = np.zeros(len(blocks), dtype=np.uint8)
+    misses = lru_miss_vector(set_ids, blocks, capacity_blocks)
+    return stats_from_misses(blocks, misses)
+
+
+def simulate_banks(
+    blocks: np.ndarray,
+    bank_indexings: Sequence[IndexingPolicy],
+    seed: int = 0,
+) -> CacheStats:
+    """Skewed cache: one frame per set per bank, distinct bank hashes."""
+    sets = bank_indexings[0].num_sets if bank_indexings else 0
+    for i, policy in enumerate(bank_indexings):
+        if policy.num_sets != sets:
+            raise ValueError(
+                f"bank {i} has {policy.num_sets} sets, expected {sets}"
+            )
+    blocks = np.asarray(blocks, dtype=np.uint64)
+    if len(bank_indexings) >= 2 and len(blocks) == 0:
+        return CacheStats(accesses=0, misses=0)
+    bank_ids = [policy.set_index_array(blocks) for policy in bank_indexings]
+    misses = skewed_miss_vector(bank_ids, blocks, seed=seed)
+    return stats_from_misses(blocks, misses)

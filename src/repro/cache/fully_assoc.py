@@ -4,6 +4,11 @@ The paper uses FA-LRU as a reference point and observes that optimized
 hash functions sometimes beat it — LRU replacement is itself
 sub-optimal, so full associativity is not an upper bound on what
 indexing can achieve.
+
+:func:`simulate_fully_associative` routes through the engine's LRU
+kernel (a fully-associative cache is the single-set case);
+:func:`simulate_fully_associative_scalar` keeps the original loop as
+the property-test oracle.
 """
 
 from __future__ import annotations
@@ -12,13 +17,21 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.cache.engine.dispatch import simulate_capacity
 from repro.cache.stats import CacheStats
 
-__all__ = ["simulate_fully_associative"]
+__all__ = ["simulate_fully_associative", "simulate_fully_associative_scalar"]
 
 
 def simulate_fully_associative(blocks: np.ndarray, capacity_blocks: int) -> CacheStats:
     """Replay a block trace through an LRU cache of ``capacity_blocks``."""
+    return simulate_capacity(blocks, capacity_blocks)
+
+
+def simulate_fully_associative_scalar(
+    blocks: np.ndarray, capacity_blocks: int
+) -> CacheStats:
+    """Reference implementation: one OrderedDict, sequential replay."""
     if capacity_blocks < 1:
         raise ValueError(f"capacity must be >= 1 block, got {capacity_blocks}")
     lru: OrderedDict[int, None] = OrderedDict()

@@ -1,4 +1,9 @@
-"""Set-associative cache with true LRU replacement."""
+"""Set-associative cache with true LRU replacement.
+
+:func:`simulate_set_associative` routes through the engine's grouped
+per-set LRU kernel; :func:`simulate_set_associative_scalar` keeps the
+original whole-trace OrderedDict loop as the property-test oracle.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +11,12 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.cache.engine import dispatch as _engine
 from repro.cache.geometry import CacheGeometry
 from repro.cache.indexing import IndexingPolicy, ModuloIndexing
 from repro.cache.stats import CacheStats
 
-__all__ = ["simulate_set_associative"]
+__all__ = ["simulate_set_associative", "simulate_set_associative_scalar"]
 
 
 def simulate_set_associative(
@@ -24,6 +30,15 @@ def simulate_set_associative(
     bits.  With ``associativity == 1`` this matches the direct-mapped
     simulators (used as a cross-check in the tests).
     """
+    return _engine.simulate(blocks, geometry, indexing)
+
+
+def simulate_set_associative_scalar(
+    blocks: np.ndarray,
+    geometry: CacheGeometry,
+    indexing: IndexingPolicy | None = None,
+) -> CacheStats:
+    """Reference implementation: sequential replay, one LRU per set."""
     if indexing is None:
         indexing = ModuloIndexing(geometry.index_bits)
     if indexing.num_sets != geometry.num_sets:

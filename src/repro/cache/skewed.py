@@ -5,16 +5,21 @@ cache where each bank uses a *different* hash function, so two blocks
 conflicting in one bank rarely conflict in the other.  Replacement
 follows Seznec's simple pseudo-random policy (deterministic under a
 seed, so simulations are reproducible).
+
+:func:`simulate_skewed` routes through the engine's skewed kernel
+(bit-identical under the same seed); :func:`simulate_skewed_scalar`
+keeps the original per-access loop as the property-test oracle.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cache.engine.dispatch import simulate_banks
 from repro.cache.indexing import IndexingPolicy
 from repro.cache.stats import CacheStats
 
-__all__ = ["simulate_skewed"]
+__all__ = ["simulate_skewed", "simulate_skewed_scalar"]
 
 
 def simulate_skewed(
@@ -34,6 +39,15 @@ def simulate_skewed(
     seed:
         Seed for the pseudo-random victim choice on a miss.
     """
+    return simulate_banks(blocks, bank_indexings, seed=seed)
+
+
+def simulate_skewed_scalar(
+    blocks: np.ndarray,
+    bank_indexings: list[IndexingPolicy],
+    seed: int = 0,
+) -> CacheStats:
+    """Reference implementation: sequential replay over dict banks."""
     if len(bank_indexings) < 2:
         raise ValueError("a skewed cache needs at least two banks")
     sets = bank_indexings[0].num_sets

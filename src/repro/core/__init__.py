@@ -4,6 +4,7 @@ from repro.core.evaluate import (
     baseline_stats,
     compare_indexings,
     evaluate_hash_function,
+    evaluate_hash_functions,
     evaluate_indexing,
 )
 from repro.core.optimizer import OptimizationResult, optimize_for_trace
@@ -13,6 +14,7 @@ __all__ = [
     "optimize_for_trace",
     "evaluate_indexing",
     "evaluate_hash_function",
+    "evaluate_hash_functions",
     "baseline_stats",
     "compare_indexings",
 ]

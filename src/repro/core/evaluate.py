@@ -1,31 +1,36 @@
-"""Exact evaluation of index functions on traces."""
+"""Exact evaluation of index functions on traces.
+
+All entry points route through :mod:`repro.cache.engine`: one
+geometry-dispatched simulation core, plus batched verification of a
+whole candidate front in a single trace replay.
+"""
 
 from __future__ import annotations
 
-from repro.cache.direct_mapped import simulate_direct_mapped
+from collections.abc import Sequence
+
+from repro.cache import engine
 from repro.cache.geometry import CacheGeometry
 from repro.cache.indexing import IndexingPolicy, ModuloIndexing, XorIndexing
-from repro.cache.set_assoc import simulate_set_associative
 from repro.cache.stats import CacheStats
 from repro.gf2.hashfn import XorHashFunction
 from repro.trace.trace import Trace
 
-__all__ = ["evaluate_indexing", "evaluate_hash_function", "baseline_stats", "compare_indexings"]
+__all__ = [
+    "evaluate_indexing",
+    "evaluate_hash_function",
+    "evaluate_hash_functions",
+    "baseline_stats",
+    "compare_indexings",
+]
 
 
 def evaluate_indexing(
     trace: Trace, geometry: CacheGeometry, indexing: IndexingPolicy
 ) -> CacheStats:
     """Exact miss count of a trace through a cache with this indexing."""
-    if indexing.num_sets != geometry.num_sets:
-        raise ValueError(
-            f"indexing produces {indexing.num_sets} sets, geometry has "
-            f"{geometry.num_sets}"
-        )
     blocks = trace.block_addresses(geometry.block_size)
-    if geometry.is_direct_mapped:
-        return simulate_direct_mapped(blocks, indexing)
-    return simulate_set_associative(blocks, geometry, indexing)
+    return engine.simulate(blocks, geometry, indexing)
 
 
 def evaluate_hash_function(
@@ -38,6 +43,18 @@ def evaluate_hash_function(
             f"{geometry.index_bits}"
         )
     return evaluate_indexing(trace, geometry, XorIndexing(fn))
+
+
+def evaluate_hash_functions(
+    trace: Trace, geometry: CacheGeometry, functions: Sequence[XorHashFunction]
+) -> list[CacheStats]:
+    """Exact miss counts for a whole candidate front in one replay.
+
+    Equivalent to calling :func:`evaluate_hash_function` per candidate
+    (property-tested), but the index streams are computed in one stacked
+    NumPy pass over the trace's working set.
+    """
+    return engine.evaluate_many(trace, geometry, functions)
 
 
 def baseline_stats(trace: Trace, geometry: CacheGeometry) -> CacheStats:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
+from repro.cache import engine
 from repro.cache.geometry import CacheGeometry, PAPER_HASHED_BITS
 from repro.core.evaluate import baseline_stats, evaluate_hash_function
 from repro.profiling.conflict_profile import profile_blocks, profile_trace
@@ -71,20 +72,25 @@ def estimator_fidelity(
     blocks = trace.block_addresses(geometry.block_size)
     rng = np.random.default_rng(seed)
     family = PermutationFamily(n, m)
+    sampled: list = []
     estimated: list[int] = []
-    exact: list[int] = []
     seen = set()
-    while len(estimated) < samples:
+    while len(sampled) < samples:
         fn = family.random_member(rng)
         key = fn.canonical_key()
         if key in seen:
             continue
         seen.add(key)
+        sampled.append(fn)
         estimated.append(estimator.cost(fn.columns))
-        from repro.cache.direct_mapped import simulate_direct_mapped
-        from repro.cache.indexing import XorIndexing
-
-        exact.append(simulate_direct_mapped(blocks, XorIndexing(fn)).misses)
+    # Exact-verify the whole sampled front in one batched engine replay.
+    # Scored direct-mapped regardless of geometry.associativity: the
+    # Eq. 4 estimate models direct-mapped conflicts, so that is the
+    # reference whose ranking fidelity is being measured.
+    dm_geometry = CacheGeometry((1 << m) * 4, block_size=4, associativity=1)
+    exact = [
+        result.misses for result in engine.evaluate_many(blocks, dm_geometry, sampled)
+    ]
     if len(set(estimated)) <= 1 or len(set(exact)) <= 1:
         rho = 1.0 if len(set(exact)) <= 1 else 0.0
     else:

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-__all__ = ["format_table", "mean"]
+from repro.cache.geometry import CacheGeometry
+from repro.core.evaluate import evaluate_hash_functions
+from repro.gf2.hashfn import XorHashFunction
+from repro.trace.trace import Trace
+
+__all__ = ["format_table", "mean", "exact_miss_counts"]
 
 
 def format_table(
@@ -41,3 +46,18 @@ def mean(values: Sequence[float]) -> float:
     """Arithmetic mean (0.0 for an empty sequence)."""
     values = list(values)
     return sum(values) / len(values) if values else 0.0
+
+
+def exact_miss_counts(
+    trace: Trace, geometry: CacheGeometry, functions: Sequence[XorHashFunction]
+) -> list[int]:
+    """Exact miss counts for a whole candidate front in one replay.
+
+    Drivers that score many functions on the same trace (e.g. the
+    polynomial sweep) route through the engine's batched evaluator
+    instead of simulating one candidate at a time.
+    """
+    return [
+        stats.misses
+        for stats in evaluate_hash_functions(trace, geometry, list(functions))
+    ]

@@ -70,6 +70,11 @@ def weight_at_most(x: int, k: int) -> bool:
 
 _parity16: np.ndarray | None = None
 
+#: ``np.bitwise_count`` only exists on NumPy >= 2.0; everything below
+#: falls back to XOR-folding plus the 16-bit parity table so the engine
+#: also runs on NumPy 1.x.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
 
 def parity_table() -> np.ndarray:
     """Lookup table ``t`` with ``t[v] = parity(v)`` for 16-bit values.
@@ -80,16 +85,22 @@ def parity_table() -> np.ndarray:
     """
     global _parity16
     if _parity16 is None:
-        values = np.arange(1 << _PARITY_TABLE_BITS, dtype=np.uint16)
-        _parity16 = (np.bitwise_count(values) & 1).astype(np.uint8)
+        folded = np.arange(1 << _PARITY_TABLE_BITS, dtype=np.uint16)
+        for shift in (8, 4, 2, 1):
+            folded = folded ^ (folded >> np.uint16(shift))
+        _parity16 = (folded & np.uint16(1)).astype(np.uint8)
     return _parity16
 
 
 def parity_u64(values: np.ndarray, column_mask: int) -> np.ndarray:
     """Vectorized ``parity(values & column_mask)`` for a numpy array.
 
-    Works for masks of any width up to 64 bits via ``np.bitwise_count``.
-    Returns a ``uint8`` array of 0/1 parities.
+    Works for masks of any width up to 64 bits.  Returns a ``uint8``
+    array of 0/1 parities.
     """
-    masked = np.bitwise_and(values.astype(np.uint64), np.uint64(column_mask))
-    return (np.bitwise_count(masked) & 1).astype(np.uint8)
+    masked = np.bitwise_and(np.asarray(values).astype(np.uint64), np.uint64(column_mask))
+    if _HAS_BITWISE_COUNT:
+        return (np.bitwise_count(masked) & 1).astype(np.uint8)
+    folded = masked ^ (masked >> np.uint64(32))
+    folded ^= folded >> np.uint64(16)
+    return parity_table()[(folded & np.uint64(0xFFFF)).astype(np.uint16)]

@@ -20,7 +20,7 @@ from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.gf2.bitvec import dot, mask, parity_table, popcount
+from repro.gf2.bitvec import dot, mask, parity_table, parity_u64, popcount
 from repro.gf2.matrix import GF2Matrix
 from repro.gf2.spaces import Subspace
 
@@ -237,8 +237,7 @@ class XorHashFunction:
                 out |= bits.astype(np.uint32) << np.uint32(c)
         else:
             for c, col in enumerate(self._columns):
-                sel = np.bitwise_and(masked, np.uint64(col))
-                bits = (np.bitwise_count(sel) & 1).astype(np.uint32)
+                bits = parity_u64(masked, col).astype(np.uint32)
                 out |= bits << np.uint32(c)
         return out
 

@@ -13,7 +13,12 @@ from repro.search.families import (
     PermutationFamily,
     family_for_name,
 )
-from repro.search.hill_climb import SearchResult, hill_climb, hill_climb_restarts
+from repro.search.hill_climb import (
+    SearchResult,
+    hill_climb,
+    hill_climb_front,
+    hill_climb_restarts,
+)
 from repro.search.objective import EstimatedMissObjective, ExactSimulationObjective
 from repro.search.optimal_xor import OptimalXorResult, optimal_xor_function
 
@@ -25,6 +30,7 @@ __all__ = [
     "family_for_name",
     "SearchResult",
     "hill_climb",
+    "hill_climb_front",
     "hill_climb_restarts",
     "ExhaustiveResult",
     "optimal_bit_select",

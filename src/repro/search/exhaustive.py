@@ -19,6 +19,7 @@ from itertools import combinations
 
 import numpy as np
 
+from repro.cache.engine.batched import CHUNK_ELEMENTS, misses_for_index_streams
 from repro.gf2.hashfn import XorHashFunction
 from repro.profiling.conflict_profile import ConflictProfile
 
@@ -116,14 +117,29 @@ def misses_bit_select_exact(blocks: np.ndarray, mask_value: int) -> int:
 
 
 def _best_exact(n: int, masks: np.ndarray, blocks: np.ndarray) -> tuple[int, int]:
+    """Score every selection mask with the engine's batched sort kernel.
+
+    The masked block address is a valid set identity (uncompressed) and
+    the dense working-set relabeling a valid block key, so a chunk of
+    candidate masks is scored in one ``(R, N)`` pass instead of R
+    separate replays.
+    """
     blocks = np.asarray(blocks, dtype=np.uint64)
+    if len(blocks) == 0:
+        return int(masks[0]), 0
+    unique_blocks, inverse = np.unique(blocks, return_inverse=True)
+    inverse = inverse.astype(np.uint32)
     best_mask = int(masks[0])
     best = None
-    for mask_value in masks:
-        misses = misses_bit_select_exact(blocks, int(mask_value))
-        if best is None or misses < best:
-            best = misses
-            best_mask = int(mask_value)
+    rows_per_chunk = max(1, CHUNK_ELEMENTS // len(blocks))
+    for lo in range(0, len(masks), rows_per_chunk):
+        chunk = masks[lo : lo + rows_per_chunk].astype(np.uint64)
+        unique_ids = unique_blocks[None, :] & chunk[:, None]
+        misses = misses_for_index_streams(unique_ids[:, inverse], inverse)
+        i = int(np.argmin(misses))
+        if best is None or int(misses[i]) < best:
+            best = int(misses[i])
+            best_mask = int(chunk[i])
     assert best is not None
     return best_mask, best
 

@@ -24,7 +24,7 @@ from repro.profiling.conflict_profile import ConflictProfile
 from repro.profiling.estimator import MissEstimator
 from repro.search.families import FunctionFamily
 
-__all__ = ["SearchResult", "hill_climb", "hill_climb_restarts"]
+__all__ = ["SearchResult", "hill_climb", "hill_climb_front", "hill_climb_restarts"]
 
 
 @dataclass
@@ -141,6 +141,34 @@ def hill_climb(
     )
 
 
+def hill_climb_front(
+    profile: ConflictProfile,
+    family: FunctionFamily,
+    restarts: int = 0,
+    seed: int = 0,
+    max_steps: int | None = None,
+) -> list[SearchResult]:
+    """All local optima from the conventional start plus random restarts.
+
+    The first entry is always the paper's single conventional start;
+    each restart contributes one more local optimum.  Returning the
+    whole front (instead of only the estimate-best member) lets callers
+    exact-verify every candidate in one batched trace replay and pick
+    the *simulated* winner — see ``repro.core.optimizer``.
+    """
+    estimator = MissEstimator(profile)
+    front = [hill_climb(profile, family, max_steps=max_steps, estimator=estimator)]
+    rng = np.random.default_rng(seed)
+    for _ in range(restarts):
+        start = family.random_member(rng)
+        front.append(
+            hill_climb(
+                profile, family, start=start, max_steps=max_steps, estimator=estimator
+            )
+        )
+    return front
+
+
 def hill_climb_restarts(
     profile: ConflictProfile,
     family: FunctionFamily,
@@ -152,16 +180,13 @@ def hill_climb_restarts(
 
     The paper's algorithm is single-start; restarts are our ablation of
     how much the local optimum costs (see ``experiments.ablations``).
-    The best result over all starts is returned.
+    The estimate-best result over all starts is returned.
     """
-    estimator = MissEstimator(profile)
-    best = hill_climb(profile, family, max_steps=max_steps, estimator=estimator)
-    rng = np.random.default_rng(seed)
-    for _ in range(restarts):
-        start = family.random_member(rng)
-        result = hill_climb(
-            profile, family, start=start, max_steps=max_steps, estimator=estimator
-        )
+    front = hill_climb_front(
+        profile, family, restarts=restarts, seed=seed, max_steps=max_steps
+    )
+    best = front[0]
+    for result in front[1:]:
         if result.estimated_misses < best.estimated_misses:
             result.start_misses = best.start_misses  # report vs conventional
             best = result

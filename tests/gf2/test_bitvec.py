@@ -103,3 +103,57 @@ class TestParityTable:
         values = np.arange(512, dtype=np.uint64)
         expected = np.array([parity(int(v) & col) for v in values], dtype=np.uint8)
         assert (parity_u64(values, col) == expected).all()
+
+
+class TestNumpyCompatFallback:
+    """The parity kernels must not require NumPy >= 2.0.
+
+    ``np.bitwise_count`` is used opportunistically; forcing the
+    XOR-fold fallback must produce identical parities for wide masks.
+    """
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 62) - 1),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_fallback_matches_bitwise_count(self, col, seed):
+        import repro.gf2.bitvec as bitvec
+
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 1 << 62, size=64, dtype=np.uint64)
+        fast = parity_u64(values, col)
+        original = bitvec._HAS_BITWISE_COUNT
+        bitvec._HAS_BITWISE_COUNT = False
+        try:
+            slow = parity_u64(values, col)
+        finally:
+            bitvec._HAS_BITWISE_COUNT = original
+        assert (fast == slow).all()
+        expected = np.array(
+            [parity(int(v) & col) for v in values], dtype=np.uint8
+        )
+        assert (slow == expected).all()
+
+    def test_parity_table_needs_no_bitwise_count(self, monkeypatch):
+        import repro.gf2.bitvec as bitvec
+
+        monkeypatch.setattr(bitvec, "_parity16", None)
+        table = bitvec.parity_table()
+        assert table.shape == (65536,)
+        for value in [0, 1, 0b11, 0xFFFF, 0xABC]:
+            assert table[value] == parity(value)
+        monkeypatch.setattr(bitvec, "_parity16", None)
+
+    def test_wide_hash_function_on_fallback(self, monkeypatch):
+        """XorHashFunction.apply_array n > 16 path under NumPy 1.x."""
+        import repro.gf2.bitvec as bitvec
+        from repro.gf2.hashfn import XorHashFunction
+
+        fn = XorHashFunction.random(24, 8, np.random.default_rng(3))
+        addrs = np.random.default_rng(4).integers(0, 1 << 24, size=256).astype(np.uint64)
+        with_count = fn.apply_array(addrs)
+        monkeypatch.setattr(bitvec, "_HAS_BITWISE_COUNT", False)
+        without_count = fn.apply_array(addrs)
+        assert (with_count == without_count).all()
+        expected = np.array([fn.apply(int(a)) for a in addrs], dtype=np.uint32)
+        assert (without_count == expected).all()
