@@ -5,14 +5,14 @@ Ten MiBench/MediaBench kernels x {1, 4, 16} KB direct-mapped caches x
 qualitative claims on the regenerated table.
 """
 
-from benchmarks.conftest import bench_scale, publish
+from benchmarks.conftest import bench_scale, bench_workers, publish
 from repro.experiments.table2 import format_table2, run_table2
 
 
 def test_table2_data_caches(benchmark, results_dir):
     result = benchmark.pedantic(
         run_table2,
-        kwargs={"kind": "data", "scale": bench_scale()},
+        kwargs={"kind": "data", "scale": bench_scale(), "workers": bench_workers()},
         rounds=1,
         iterations=1,
     )

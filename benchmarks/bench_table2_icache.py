@@ -5,14 +5,14 @@ average at 4 KB); the regenerated table must show the same pattern of
 large, removable I-cache conflicts.
 """
 
-from benchmarks.conftest import bench_scale, publish
+from benchmarks.conftest import bench_scale, bench_workers, publish
 from repro.experiments.table2 import format_table2, run_table2
 
 
 def test_table2_instruction_caches(benchmark, results_dir):
     result = benchmark.pedantic(
         run_table2,
-        kwargs={"kind": "instruction", "scale": bench_scale()},
+        kwargs={"kind": "instruction", "scale": bench_scale(), "workers": bench_workers()},
         rounds=1,
         iterations=1,
     )

@@ -7,7 +7,7 @@ selections — the expensive step that limited the paper to PowerStone.
 Traces are capped at 40k references for the same reason.
 """
 
-from benchmarks.conftest import bench_scale, publish, table3_opt_mode
+from benchmarks.conftest import bench_scale, bench_workers, publish, table3_opt_mode
 from repro.experiments.table3 import average_row, format_table3, run_table3
 
 
@@ -18,6 +18,7 @@ def test_table3(benchmark, results_dir):
             "scale": bench_scale(),
             "opt_mode": table3_opt_mode(),
             "max_refs": 40_000,
+            "workers": bench_workers(),
         },
         rounds=1,
         iterations=1,

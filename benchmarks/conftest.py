@@ -12,6 +12,9 @@ Environment knobs:
   (``tiny`` / ``small`` / ``default``; default ``small``).
 * ``REPRO_TABLE3_OPT`` — ``exact`` (paper-faithful, slower) or
   ``estimate`` for Table 3's optimal column (default ``exact``).
+* ``REPRO_BENCH_WORKERS`` — campaign worker processes for the table
+  grids (default 1 = serial, so timings stay comparable across hosts;
+  0 = one per core).
 """
 
 from __future__ import annotations
@@ -30,6 +33,11 @@ def bench_scale() -> str:
 
 def table3_opt_mode() -> str:
     return os.environ.get("REPRO_TABLE3_OPT", "exact")
+
+
+def bench_workers() -> int | None:
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    return workers if workers > 0 else None
 
 
 @pytest.fixture(scope="session")

@@ -23,6 +23,8 @@ Packages:
 * :mod:`repro.search` — hill climbing and exhaustive baselines;
 * :mod:`repro.hardware` — reconfigurable selector-network models;
 * :mod:`repro.core` — the end-to-end optimization pipeline;
+* :mod:`repro.pipeline` — content-addressed artifact cache and the
+  parallel campaign runner;
 * :mod:`repro.experiments` — drivers regenerating every paper table/figure.
 """
 
@@ -31,6 +33,13 @@ from repro.cache.stats import CacheStats
 from repro.core.evaluate import baseline_stats, evaluate_hash_function
 from repro.core.optimizer import OptimizationResult, optimize_for_trace
 from repro.gf2.hashfn import XorHashFunction
+from repro.pipeline import (
+    ArtifactCache,
+    CampaignTask,
+    PipelineContext,
+    build_grid,
+    run_campaign,
+)
 from repro.profiling.conflict_profile import ConflictProfile, profile_trace
 from repro.trace.trace import Trace
 
@@ -49,5 +58,10 @@ __all__ = [
     "OptimizationResult",
     "evaluate_hash_function",
     "baseline_stats",
+    "ArtifactCache",
+    "PipelineContext",
+    "CampaignTask",
+    "build_grid",
+    "run_campaign",
     "__version__",
 ]

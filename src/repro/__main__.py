@@ -3,6 +3,8 @@
 Commands:
 
 * ``optimize``  — construct an index function for a bundled workload;
+* ``campaign``  — run a benchmark x cache x family grid through the
+  artifact cache, in parallel across cores;
 * ``tables``    — regenerate the paper's tables/figures;
 * ``workloads`` — list the bundled benchmark kernels;
 * ``classify``  — three-Cs miss breakdown for a workload and cache.
@@ -11,10 +13,20 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
+from pathlib import Path
 
 from repro import CacheGeometry, optimize_for_trace
 from repro.cache.classify import classify_misses
+from repro.pipeline import (
+    PipelineContext,
+    build_grid,
+    default_cache_dir,
+    format_campaign,
+    run_campaign,
+)
 from repro.workloads import SUITES, get_workload, workload_names
 
 
@@ -65,6 +77,48 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    tasks = build_grid(
+        suite=args.suite,
+        benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
+        kinds=tuple(args.kinds),
+        cache_sizes=tuple(kb * 1024 for kb in args.cache_kb),
+        families=tuple(args.families),
+        scale=args.scale,
+        workload_seed=args.seed,
+        guard=args.guard,
+    )
+    if not tasks:
+        print("error: the campaign grid is empty", file=sys.stderr)
+        return 2
+    result = run_campaign(
+        tasks,
+        cache_dir=args.cache_dir if args.cache_dir else default_cache_dir(),
+        workers=args.workers,
+        base_seed=args.seed,
+    )
+    print(format_campaign(result))
+    if args.json:
+        Path(args.json).write_text(json.dumps(result.to_json(), indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if args.expect_cached and not result.fully_cached:
+        totals = result.cache_totals()
+        print(
+            f"FAIL: expected a fully cached replay but {totals['misses']} "
+            f"artifact(s) were recomputed ({totals['stores']} stored)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _tables_session(args: argparse.Namespace):
+    """Artifact-cache session for the tables command (if requested)."""
+    if args.cache_dir is None:
+        return contextlib.nullcontext()
+    return PipelineContext(args.cache_dir).activate()
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from repro.experiments import (
         format_counting,
@@ -78,22 +132,26 @@ def cmd_tables(args: argparse.Namespace) -> int:
     )
 
     which = set(args.only) if args.only else {"counting", "table1", "table2", "table3", "general-vs-perm"}
-    if "counting" in which:
-        print(format_counting())
-        print()
-    if "table1" in which:
-        print(format_table1())
-        print()
-    if "general-vs-perm" in which:
-        print(format_general_vs_perm(run_general_vs_perm(scale=args.scale)))
-        print()
-    if "table2" in which:
-        print(format_table2(run_table2(kind="data", scale=args.scale)))
-        print()
-        print(format_table2(run_table2(kind="instruction", scale=args.scale)))
-        print()
-    if "table3" in which:
-        print(format_table3(run_table3(scale=args.scale, max_refs=40_000)))
+    with _tables_session(args):
+        if "counting" in which:
+            print(format_counting())
+            print()
+        if "table1" in which:
+            print(format_table1())
+            print()
+        if "general-vs-perm" in which:
+            print(format_general_vs_perm(run_general_vs_perm(scale=args.scale)))
+            print()
+        if "table2" in which:
+            print(format_table2(run_table2(
+                kind="data", scale=args.scale, workers=args.workers)))
+            print()
+            print(format_table2(run_table2(
+                kind="instruction", scale=args.scale, workers=args.workers)))
+            print()
+        if "table3" in which:
+            print(format_table3(run_table3(
+                scale=args.scale, max_refs=40_000, workers=args.workers)))
     return 0
 
 
@@ -123,6 +181,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl = sub.add_parser("workloads", help="list bundled kernels")
     p_wl.set_defaults(func=cmd_workloads)
 
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a benchmark x cache x family grid through the artifact cache",
+    )
+    p_camp.add_argument("--suite", choices=sorted(SUITES), default="mibench")
+    p_camp.add_argument(
+        "--benchmarks", nargs="*", default=None,
+        help="kernel names (default: the whole suite)",
+    )
+    p_camp.add_argument(
+        "--kinds", nargs="*", choices=("data", "instruction"), default=["data"]
+    )
+    p_camp.add_argument(
+        "--cache-kb", nargs="*", type=int, default=[1, 4, 16],
+        help="cache sizes in KB",
+    )
+    p_camp.add_argument(
+        "--families", nargs="*", default=["2-in"],
+        choices=("1-in", "2-in", "4-in", "16-in", "general"),
+    )
+    p_camp.add_argument(
+        "--scale", choices=("tiny", "small", "default", "large"), default="small"
+    )
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument("--guard", action="store_true")
+    p_camp.add_argument(
+        "--workers", type=int, default=None,
+        help="process count (default: one per core; 1 = serial)",
+    )
+    p_camp.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-xor-indexing)",
+    )
+    p_camp.add_argument(
+        "--json", default=None, help="also write results to this JSON file"
+    )
+    p_camp.add_argument(
+        "--expect-cached", action="store_true",
+        help="exit non-zero if any artifact had to be (re)computed "
+             "(CI warm-cache check)",
+    )
+    p_camp.set_defaults(func=cmd_campaign)
+
     p_tab = sub.add_parser("tables", help="regenerate paper tables")
     p_tab.add_argument(
         "--scale", choices=("tiny", "small", "default"), default="tiny"
@@ -130,6 +232,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_tab.add_argument(
         "--only", nargs="*", default=None,
         choices=("counting", "table1", "table2", "table3", "general-vs-perm"),
+    )
+    p_tab.add_argument(
+        "--workers", type=int, default=1,
+        help="process count for the table grids (1 = serial)",
+    )
+    p_tab.add_argument(
+        "--cache-dir", default=None,
+        help="run all drivers through an artifact cache at this directory",
     )
     p_tab.set_defaults(func=cmd_tables)
     return parser

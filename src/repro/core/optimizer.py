@@ -10,6 +10,7 @@ indexing (the quantity in Tables 2 and 3).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cache.geometry import CacheGeometry, PAPER_HASHED_BITS
 from repro.cache.stats import CacheStats
@@ -19,10 +20,14 @@ from repro.core.evaluate import (
     evaluate_hash_functions,
 )
 from repro.gf2.hashfn import XorHashFunction
+from repro.pipeline.runtime import current_context, use_context
 from repro.profiling.conflict_profile import ConflictProfile, profile_trace
 from repro.search.families import FunctionFamily, family_for_name
 from repro.search.hill_climb import SearchResult, hill_climb_front, hill_climb_restarts
 from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.context import PipelineContext
 
 __all__ = ["OptimizationResult", "optimize_for_trace"]
 
@@ -72,6 +77,7 @@ def optimize_for_trace(
     seed: int = 0,
     max_steps: int | None = None,
     profile: ConflictProfile | None = None,
+    context: "PipelineContext | None" = None,
 ) -> OptimizationResult:
     """Construct and verify an application-specific index function.
 
@@ -96,6 +102,11 @@ def optimize_for_trace(
     profile:
         Reuse a precomputed conflict profile (it only depends on the
         trace and the cache capacity, not on the family searched).
+    context:
+        Pipeline session whose artifact cache backs the profile, the
+        exact simulations and the whole result (defaults to the ambient
+        :func:`repro.pipeline.runtime.current_context`).  A cached
+        result is bit-identical to recomputing it.
     """
     m = geometry.index_bits
     if m > n:
@@ -108,8 +119,49 @@ def optimize_for_trace(
             f"expected (n={n}, m={m})"
         )
 
+    ctx = context if context is not None else current_context()
     if profile is None:
-        profile = profile_trace(trace, geometry, n)
+        profile = ctx.profile(trace, geometry, n) if ctx is not None else (
+            profile_trace(trace, geometry, n)
+        )
+    if ctx is not None:
+        # The single-start search is deterministic: the seed only
+        # matters with restarts, so normalize it out of the record key
+        # and let every seed share the artifact.
+        key_seed = seed if restarts > 0 else 0
+        cached = ctx.load_optimization(
+            trace, geometry, family.name, n, guard, restarts, key_seed,
+            max_steps, profile,
+        )
+        if cached is not None:
+            return cached
+        with use_context(ctx):
+            result = _optimize(
+                trace, geometry, family, n, guard, restarts, seed, max_steps,
+                profile,
+            )
+        ctx.store_optimization(
+            trace, geometry, family.name, n, guard, restarts, key_seed,
+            max_steps, result,
+        )
+        return result
+    return _optimize(
+        trace, geometry, family, n, guard, restarts, seed, max_steps, profile
+    )
+
+
+def _optimize(
+    trace: Trace,
+    geometry: CacheGeometry,
+    family: FunctionFamily,
+    n: int,
+    guard: bool,
+    restarts: int,
+    seed: int,
+    max_steps: int | None,
+    profile: ConflictProfile,
+) -> OptimizationResult:
+    """The profile -> hill climb -> exact verification flow itself."""
     baseline = baseline_stats(trace, geometry)
     if restarts > 0:
         # Multi-start: exact-verify the whole front of local optima in
@@ -135,7 +187,7 @@ def optimize_for_trace(
     chosen = search.function
     reverted = False
     if guard and optimized.misses > baseline.misses:
-        chosen = XorHashFunction.modulo(n, m)
+        chosen = XorHashFunction.modulo(n, geometry.index_bits)
         optimized = baseline
         reverted = True
 

@@ -3,11 +3,16 @@
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.cache.geometry import CacheGeometry
 from repro.core.evaluate import evaluate_hash_functions
 from repro.gf2.hashfn import XorHashFunction
+from repro.pipeline.runtime import use_context
 from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.context import PipelineContext
 
 __all__ = ["format_table", "mean", "exact_miss_counts"]
 
@@ -49,14 +54,23 @@ def mean(values: Sequence[float]) -> float:
 
 
 def exact_miss_counts(
-    trace: Trace, geometry: CacheGeometry, functions: Sequence[XorHashFunction]
+    trace: Trace,
+    geometry: CacheGeometry,
+    functions: Sequence[XorHashFunction],
+    context: "PipelineContext | None" = None,
 ) -> list[int]:
     """Exact miss counts for a whole candidate front in one replay.
 
     Drivers that score many functions on the same trace (e.g. the
     polynomial sweep) route through the engine's batched evaluator
-    instead of simulating one candidate at a time.
+    instead of simulating one candidate at a time.  Pass ``context``
+    (or run under an active pipeline session) to read previously
+    verified candidates from the artifact cache and simulate only the
+    rest.
     """
+    if context is not None:
+        with use_context(context):
+            return exact_miss_counts(trace, geometry, functions)
     return [
         stats.misses
         for stats in evaluate_hash_functions(trace, geometry, list(functions))

@@ -12,11 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cache.geometry import CacheGeometry, PAPER_HASHED_BITS
-from repro.core.optimizer import OptimizationResult, optimize_for_trace
+from repro.core.optimizer import OptimizationResult
 from repro.experiments.common import format_table, mean
-from repro.profiling.conflict_profile import profile_trace
-from repro.workloads.registry import get_workload, workload_names
+from repro.pipeline.campaign import CampaignTask, run_campaign
+from repro.workloads.registry import workload_names
 
 __all__ = ["Table2Row", "Table2Result", "run_table2", "format_table2", "PAPER_TABLE2_AVERAGES"]
 
@@ -71,30 +70,47 @@ def run_table2(
     families: tuple[str, ...] = DEFAULT_FAMILIES,
     benchmarks: tuple[str, ...] | None = None,
     seed: int = 0,
+    workers: int | None = 1,
 ) -> Table2Result:
     """Regenerate one half of Table 2.
 
-    The conflict profile is computed once per (benchmark, cache size)
-    and shared by all families, exactly as the paper's flow allows.
+    The grid runs as a pipeline campaign: the conflict profile is
+    computed once per (benchmark, cache size) and shared by all
+    families through the session memo / artifact cache, and with
+    ``workers > 1`` (or ``None`` for one per core) rows are simulated
+    in parallel across a process pool.
     """
     names = benchmarks if benchmarks is not None else tuple(workload_names("mibench"))
-    rows: list[Table2Row] = []
-    for name in names:
-        run = get_workload("mibench", name, scale, seed)
-        trace = run.trace(kind)
-        for size in cache_sizes:
-            geometry = CacheGeometry.direct_mapped(size)
-            profile = profile_trace(trace, geometry, PAPER_HASHED_BITS)
-            row = Table2Row(benchmark=name, cache_bytes=size, base_misses_per_kuop=0.0)
-            for family in families:
-                result = optimize_for_trace(
-                    trace, geometry, family=family, profile=profile
-                )
-                row.removed_percent[family] = result.removed_percent
-                row.details[family] = result
-                row.base_misses_per_kuop = result.base_misses_per_kuop(trace.uops)
-            rows.append(row)
-    return Table2Result(kind=kind, scale=scale, rows=rows)
+    tasks = [
+        CampaignTask(
+            suite="mibench",
+            benchmark=name,
+            kind=kind,
+            scale=scale,
+            cache_bytes=size,
+            family=family,
+            workload_seed=seed,
+        )
+        for name in names
+        for size in cache_sizes
+        for family in families
+    ]
+    campaign = run_campaign(tasks, workers=workers, keep_details=True)
+    rows: dict[tuple[str, int], Table2Row] = {}
+    for campaign_row in campaign.rows:
+        task = campaign_row.task
+        row = rows.get((task.benchmark, task.cache_bytes))
+        if row is None:
+            row = Table2Row(
+                benchmark=task.benchmark,
+                cache_bytes=task.cache_bytes,
+                base_misses_per_kuop=0.0,
+            )
+            rows[(task.benchmark, task.cache_bytes)] = row
+        row.removed_percent[task.family] = campaign_row.removed_percent
+        row.details[task.family] = campaign_row.result
+        row.base_misses_per_kuop = campaign_row.base_misses_per_kuop
+    return Table2Result(kind=kind, scale=scale, rows=list(rows.values()))
 
 
 def format_table2(result: Table2Result) -> str:

@@ -19,12 +19,15 @@ observations, checked by the regression tests:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.cache.fully_assoc import simulate_fully_associative
 from repro.cache.geometry import CacheGeometry, PAPER_HASHED_BITS
 from repro.core.evaluate import baseline_stats, evaluate_hash_function
 from repro.core.optimizer import optimize_for_trace
 from repro.experiments.common import format_table, mean
+from repro.pipeline.campaign import map_with_context
+from repro.pipeline.runtime import current_context
 from repro.profiling.conflict_profile import profile_trace
 from repro.search.exhaustive import optimal_bit_select
 from repro.workloads.registry import get_workload, workload_names
@@ -59,6 +62,51 @@ class Table3Row:
     removed_percent: dict[str, float] = field(default_factory=dict)
 
 
+def _table3_row(
+    name: str,
+    scale: str,
+    cache_bytes: int,
+    opt_mode: str,
+    seed: int,
+    max_refs: int | None,
+) -> Table3Row:
+    """One Table 3 row; top level so campaign workers can pickle it."""
+    geometry = CacheGeometry.direct_mapped(cache_bytes)
+    n = PAPER_HASHED_BITS
+    trace = get_workload("powerstone", name, scale, seed).data
+    if max_refs is not None:
+        trace = trace.head(max_refs)
+    blocks = trace.block_addresses(geometry.block_size)
+    base = baseline_stats(trace, geometry)
+    context = current_context()
+    profile = (
+        context.profile(trace, geometry, n)
+        if context is not None
+        else profile_trace(trace, geometry, n)
+    )
+    row = Table3Row(benchmark=name, base_misses=base.misses)
+
+    exhaustive = optimal_bit_select(
+        n,
+        geometry.index_bits,
+        blocks=blocks if opt_mode == "exact" else None,
+        profile=profile if opt_mode == "estimate" else None,
+        mode=opt_mode,
+    )
+    opt_stats = evaluate_hash_function(trace, geometry, exhaustive.function)
+    row.removed_percent["opt"] = opt_stats.removed_fraction(base)
+
+    for family in ("1-in", "2-in", "4-in", "16-in"):
+        result = optimize_for_trace(
+            trace, geometry, family=family, profile=profile
+        )
+        row.removed_percent[family] = result.removed_percent
+
+    fa = simulate_fully_associative(blocks, geometry.num_blocks)
+    row.removed_percent["FA"] = fa.removed_fraction(base)
+    return row
+
+
 def run_table3(
     scale: str = "small",
     cache_bytes: int = 4096,
@@ -66,6 +114,7 @@ def run_table3(
     opt_mode: str = "exact",
     seed: int = 0,
     max_refs: int | None = None,
+    workers: int | None = 1,
 ) -> list[Table3Row]:
     """Regenerate Table 3.
 
@@ -75,41 +124,21 @@ def run_table3(
     ``opt_mode="estimate"`` scores the enumeration with Eq. 4 instead.
     ``max_refs`` truncates long traces before the exhaustive pass — the
     same cost control that limited the paper to the short PowerStone
-    suite.
+    suite.  Rows run as pipeline tasks: profiles, baselines and exact
+    verifications go through the active artifact cache, and
+    ``workers > 1`` (or ``None`` for one per core) fans benchmarks out
+    across a process pool.
     """
     names = benchmarks if benchmarks is not None else tuple(workload_names("powerstone"))
-    geometry = CacheGeometry.direct_mapped(cache_bytes)
-    n = PAPER_HASHED_BITS
-    rows: list[Table3Row] = []
-    for name in names:
-        trace = get_workload("powerstone", name, scale, seed).data
-        if max_refs is not None:
-            trace = trace.head(max_refs)
-        blocks = trace.block_addresses(geometry.block_size)
-        base = baseline_stats(trace, geometry)
-        profile = profile_trace(trace, geometry, n)
-        row = Table3Row(benchmark=name, base_misses=base.misses)
-
-        exhaustive = optimal_bit_select(
-            n,
-            geometry.index_bits,
-            blocks=blocks if opt_mode == "exact" else None,
-            profile=profile if opt_mode == "estimate" else None,
-            mode=opt_mode,
-        )
-        opt_stats = evaluate_hash_function(trace, geometry, exhaustive.function)
-        row.removed_percent["opt"] = opt_stats.removed_fraction(base)
-
-        for family in ("1-in", "2-in", "4-in", "16-in"):
-            result = optimize_for_trace(
-                trace, geometry, family=family, profile=profile
-            )
-            row.removed_percent[family] = result.removed_percent
-
-        fa = simulate_fully_associative(blocks, geometry.num_blocks)
-        row.removed_percent["FA"] = fa.removed_fraction(base)
-        rows.append(row)
-    return rows
+    row_fn = partial(
+        _table3_row,
+        scale=scale,
+        cache_bytes=cache_bytes,
+        opt_mode=opt_mode,
+        seed=seed,
+        max_refs=max_refs,
+    )
+    return map_with_context(row_fn, names, workers=workers)
 
 
 def average_row(rows: list[Table3Row]) -> dict[str, float]:

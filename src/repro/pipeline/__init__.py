@@ -1,0 +1,45 @@
+"""Pipeline layer: content-addressed artifact cache + campaign runner.
+
+Three pieces:
+
+* :class:`~repro.pipeline.artifact_cache.ArtifactCache` — on-disk,
+  content-addressed store for conflict profiles, exact simulation
+  stats and whole optimization outcomes, keyed by stable digests of
+  their inputs (trace content, geometry, window, family, seeds);
+* :class:`~repro.pipeline.context.PipelineContext` — the session
+  object threaded (explicitly or ambiently, via
+  :func:`~repro.pipeline.runtime.use_context`) through
+  :mod:`repro.core` and the experiment drivers, so every flow reads
+  through the cache with bit-identical results;
+* :func:`~repro.pipeline.campaign.run_campaign` — process-pool
+  execution of benchmark x geometry x family grids with deterministic
+  per-task seeds, shared by ``repro campaign``, ``repro tables`` and
+  the table benchmarks.
+"""
+
+from repro.pipeline.artifact_cache import ArtifactCache, default_cache_dir, stable_key
+from repro.pipeline.campaign import (
+    CampaignResult,
+    CampaignRow,
+    CampaignTask,
+    build_grid,
+    format_campaign,
+    run_campaign,
+)
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.runtime import current_context, use_context
+
+__all__ = [
+    "ArtifactCache",
+    "default_cache_dir",
+    "stable_key",
+    "PipelineContext",
+    "current_context",
+    "use_context",
+    "CampaignTask",
+    "CampaignRow",
+    "CampaignResult",
+    "build_grid",
+    "run_campaign",
+    "format_campaign",
+]

@@ -1,0 +1,151 @@
+"""Content-addressed on-disk store for derived pipeline artifacts.
+
+Every artifact a campaign needs more than once — conflict profiles,
+baseline / exact-simulation statistics, whole optimization outcomes —
+is keyed by a stable digest of *everything its value depends on*: the
+trace content digest (:attr:`repro.trace.Trace.digest`), the cache
+geometry, the hashed-window width, the function or family parameters.
+Identical inputs therefore share one artifact across runs, processes
+and drivers, and any input change invalidates by construction (a new
+key simply misses).
+
+Layout: ``<root>/<kind>/<key[:2]>/<key>.<json|npz>`` with atomic
+(write-temp-then-rename) stores, so concurrent campaign workers can
+share one cache directory without locking: the worst case is two
+workers computing the same artifact and one rename winning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.profiling.conflict_profile import ConflictProfile
+
+__all__ = ["ArtifactCache", "default_cache_dir", "stable_key"]
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-xor-indexing``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-xor-indexing"
+
+
+def stable_key(kind: str, params: dict[str, Any]) -> str:
+    """Content address: sha256 over the canonical JSON of the inputs."""
+    payload = json.dumps(
+        {"kind": kind, "params": params}, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ArtifactCache:
+    """Content-addressed artifact store with hit/miss/store accounting.
+
+    Counters are per-instance and per-kind; campaign workers report
+    them back so a run can prove (e.g. in CI) that a warm replay
+    recomputed nothing.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.counters: dict[str, dict[str, int]] = {}
+
+    # -- accounting --------------------------------------------------------
+
+    def _bump(self, kind: str, event: str) -> None:
+        per_kind = self.counters.setdefault(
+            kind, {"hits": 0, "misses": 0, "stores": 0}
+        )
+        per_kind[event] += 1
+
+    @property
+    def hits(self) -> int:
+        return sum(c["hits"] for c in self.counters.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(c["misses"] for c in self.counters.values())
+
+    @property
+    def stores(self) -> int:
+        return sum(c["stores"] for c in self.counters.values())
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Copy of the per-kind counters."""
+        return {kind: dict(c) for kind, c in self.counters.items()}
+
+    # -- paths -------------------------------------------------------------
+
+    def path_for(self, kind: str, key: str, suffix: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}{suffix}"
+
+    def _store_atomic(self, path: Path, write) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=path.suffix
+        )
+        os.close(fd)
+        try:
+            write(Path(tmp))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- JSON artifacts ----------------------------------------------------
+
+    def load_json(self, kind: str, key: str) -> dict | None:
+        path = self.path_for(kind, key, ".json")
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self._bump(kind, "misses")
+            return None
+        self._bump(kind, "hits")
+        return payload
+
+    def store_json(self, kind: str, key: str, payload: dict) -> None:
+        path = self.path_for(kind, key, ".json")
+        text = json.dumps(payload, sort_keys=True)
+        self._store_atomic(path, lambda tmp: tmp.write_text(text + "\n"))
+        self._bump(kind, "stores")
+
+    # -- conflict-profile artifacts ----------------------------------------
+
+    def load_profile(self, key: str) -> ConflictProfile | None:
+        path = self.path_for("profile", key, ".npz")
+        try:
+            profile = ConflictProfile.load(path)
+        except (OSError, KeyError, ValueError):
+            self._bump("profile", "misses")
+            return None
+        self._bump("profile", "hits")
+        return profile
+
+    def store_profile(self, key: str, profile: ConflictProfile) -> None:
+        path = self.path_for("profile", key, ".npz")
+        self._store_atomic(path, profile.save)
+        self._bump("profile", "stores")
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactCache(root={str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

@@ -1,0 +1,461 @@
+"""Parallel campaign execution over benchmark x geometry x family grids.
+
+A *campaign* is the unit of production work: every (workload, cache
+geometry, function family) cell of an experiment grid becomes one
+:class:`CampaignTask`, tasks fan out over a process pool, and every
+task reads and writes the shared content-addressed artifact cache.  A
+warm replay of a finished campaign therefore touches no simulator at
+all — it only loads artifacts (``benchmarks/bench_pipeline.py`` holds
+the >= 5x floor on exactly that).
+
+Seeding is deterministic per task: the search seed is derived from the
+task's identity and the campaign's base seed, so results do not depend
+on worker count, scheduling order, or which process picks a task up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cache.geometry import PAPER_HASHED_BITS, CacheGeometry
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.runtime import current_context
+from repro.workloads.registry import get_workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.optimizer import OptimizationResult
+
+__all__ = [
+    "CampaignTask",
+    "CampaignRow",
+    "CampaignResult",
+    "build_grid",
+    "run_campaign",
+    "format_campaign",
+]
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One cell of a campaign grid."""
+
+    suite: str
+    benchmark: str
+    kind: str = "data"
+    scale: str = "small"
+    cache_bytes: int = 4096
+    block_size: int = 4
+    family: str = "2-in"
+    n: int = PAPER_HASHED_BITS
+    workload_seed: int = 0
+    guard: bool = False
+    restarts: int = 0
+    max_steps: int | None = None
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        return CacheGeometry.direct_mapped(self.cache_bytes, self.block_size)
+
+    def derive_seed(self, base_seed: int) -> int:
+        """Deterministic per-task search seed, independent of execution
+        order and worker placement."""
+        ident = (
+            f"{self.suite}/{self.benchmark}/{self.kind}/{self.scale}/"
+            f"{self.cache_bytes}/{self.block_size}/{self.family}/{self.n}/"
+            f"{self.workload_seed}"
+        )
+        digest = hashlib.sha256(ident.encode()).digest()
+        return (base_seed + int.from_bytes(digest[:4], "big")) & 0x7FFFFFFF
+
+
+@dataclass
+class CampaignRow:
+    """Result of one task, light enough to ship back from a worker."""
+
+    task: CampaignTask
+    base_misses: int
+    optimized_misses: int
+    base_misses_per_kuop: float
+    removed_percent: float
+    accesses: int
+    uops: int
+    search_seed: int
+    seconds: float
+    cache_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Full :class:`OptimizationResult`, present only with
+    #: ``keep_details=True``.
+    result: "OptimizationResult | None" = None
+
+
+@dataclass
+class CampaignResult:
+    """All rows of a campaign plus execution metadata."""
+
+    rows: list[CampaignRow]
+    workers: int
+    cache_dir: str | None
+    seconds: float
+    base_seed: int = 0
+
+    def cache_totals(self) -> dict[str, int]:
+        """Summed artifact-cache counters across every task."""
+        totals = {"hits": 0, "misses": 0, "stores": 0}
+        for row in self.rows:
+            for per_kind in row.cache_stats.values():
+                for event, count in per_kind.items():
+                    totals[event] += count
+        return totals
+
+    @property
+    def fully_cached(self) -> bool:
+        """True when no artifact had to be (re)computed.
+
+        Always ``False`` for purely in-memory runs (without an artifact
+        cache, every task computed from scratch even though there are
+        no cache counters to show it) and for empty campaigns (zero
+        tasks verify nothing).
+        """
+        if self.cache_dir is None or not self.rows:
+            return False
+        totals = self.cache_totals()
+        return totals["misses"] == 0 and totals["stores"] == 0
+
+    def to_json(self) -> dict:
+        """JSON-serializable summary (used by ``repro campaign --json``)."""
+        return {
+            "workers": self.workers,
+            "cache_dir": self.cache_dir,
+            "seconds": self.seconds,
+            "base_seed": self.base_seed,
+            "cache_totals": self.cache_totals(),
+            "fully_cached": self.fully_cached,
+            "rows": [
+                {
+                    "suite": row.task.suite,
+                    "benchmark": row.task.benchmark,
+                    "kind": row.task.kind,
+                    "scale": row.task.scale,
+                    "cache_bytes": row.task.cache_bytes,
+                    "family": row.task.family,
+                    "base_misses": row.base_misses,
+                    "optimized_misses": row.optimized_misses,
+                    "base_misses_per_kuop": row.base_misses_per_kuop,
+                    "removed_percent": row.removed_percent,
+                    "accesses": row.accesses,
+                    "uops": row.uops,
+                    "search_seed": row.search_seed,
+                    "seconds": row.seconds,
+                }
+                for row in self.rows
+            ],
+        }
+
+
+def build_grid(
+    suite: str = "mibench",
+    benchmarks: Sequence[str] | None = None,
+    kinds: Sequence[str] = ("data",),
+    cache_sizes: Sequence[int] = (1024, 4096, 16384),
+    families: Sequence[str] = ("2-in",),
+    scale: str = "small",
+    n: int = PAPER_HASHED_BITS,
+    workload_seed: int = 0,
+    guard: bool = False,
+) -> list[CampaignTask]:
+    """The benchmark x kind x cache-size x family cross product."""
+    from repro.workloads.registry import workload_names
+
+    names = tuple(benchmarks) if benchmarks else tuple(workload_names(suite))
+    return [
+        CampaignTask(
+            suite=suite,
+            benchmark=name,
+            kind=kind,
+            scale=scale,
+            cache_bytes=size,
+            family=family,
+            n=n,
+            workload_seed=workload_seed,
+            guard=guard,
+        )
+        for name in names
+        for kind in kinds
+        for size in cache_sizes
+        for family in families
+    ]
+
+
+# One context per worker process, created lazily on the first task and
+# reused for the rest: the in-memory memo then dedups e.g. one conflict
+# profile shared by every family of a benchmark within that worker.
+_worker_context: PipelineContext | None = None
+_worker_cache_dir: str | None = None
+
+
+def _init_worker(cache_dir: str | None) -> None:
+    global _worker_context, _worker_cache_dir
+    _worker_cache_dir = cache_dir
+    _worker_context = PipelineContext(cache_dir)
+
+
+def _counters_snapshot(context: PipelineContext) -> dict[str, dict[str, int]]:
+    return context.cache_stats()
+
+
+def _counters_delta(
+    before: dict[str, dict[str, int]], after: dict[str, dict[str, int]]
+) -> dict[str, dict[str, int]]:
+    delta: dict[str, dict[str, int]] = {}
+    for kind, per_kind in after.items():
+        base = before.get(kind, {})
+        changed = {
+            event: count - base.get(event, 0)
+            for event, count in per_kind.items()
+            if count - base.get(event, 0)
+        }
+        if changed:
+            delta[kind] = changed
+    return delta
+
+
+def _resolve_execution(
+    cache_dir: str | Path | None, workers: int | None, count: int
+) -> tuple[str | None, int, PipelineContext]:
+    """Shared cache-dir/worker/context resolution for both executors.
+
+    The explicit ``cache_dir`` wins; otherwise the ambient context's
+    cache is adopted so nested campaigns share the session's artifacts.
+    The returned context is for *serial* execution: the ambient context
+    is reused only when it is backed by the resolved directory, else a
+    fresh session is created (never silently writing elsewhere).
+    """
+    ambient = current_context()
+    if cache_dir is None and ambient is not None and ambient.cache is not None:
+        cache_dir = ambient.cache.root
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    if workers is None:
+        workers = min(count, os.cpu_count() or 1) or 1
+    workers = max(1, workers)
+    ambient_root = (
+        str(ambient.cache.root)
+        if ambient is not None and ambient.cache is not None
+        else None
+    )
+    if ambient is not None and cache_dir == ambient_root:
+        serial_context = ambient
+    else:
+        serial_context = PipelineContext(cache_dir)
+    return cache_dir, workers, serial_context
+
+
+def _run_task(
+    task: CampaignTask,
+    cache_dir: str | None,
+    base_seed: int,
+    keep_details: bool,
+    context: PipelineContext | None = None,
+) -> CampaignRow:
+    """Execute one task (top level so the process pool can pickle it)."""
+    from repro.core.optimizer import optimize_for_trace
+
+    global _worker_context
+    if context is None:
+        if _worker_context is None or _worker_cache_dir != cache_dir:
+            _init_worker(cache_dir)
+        context = _worker_context
+    assert context is not None
+    seed = task.derive_seed(base_seed)
+    before = _counters_snapshot(context)
+    t0 = time.perf_counter()
+    trace = get_workload(
+        task.suite, task.benchmark, task.scale, task.workload_seed
+    ).trace(task.kind)
+    result = optimize_for_trace(
+        trace,
+        task.geometry,
+        family=task.family,
+        n=task.n,
+        guard=task.guard,
+        restarts=task.restarts,
+        seed=seed,
+        max_steps=task.max_steps,
+        context=context,
+    )
+    seconds = time.perf_counter() - t0
+    return CampaignRow(
+        task=task,
+        base_misses=result.baseline.misses,
+        optimized_misses=result.optimized.misses,
+        base_misses_per_kuop=result.base_misses_per_kuop(trace.uops),
+        removed_percent=result.removed_percent,
+        accesses=result.baseline.accesses,
+        uops=trace.uops,
+        search_seed=seed,
+        seconds=seconds,
+        cache_stats=_counters_delta(before, _counters_snapshot(context)),
+        result=result if keep_details else None,
+    )
+
+
+def run_campaign(
+    tasks: Sequence[CampaignTask],
+    cache_dir: str | Path | None = None,
+    workers: int | None = None,
+    base_seed: int = 0,
+    keep_details: bool = False,
+) -> CampaignResult:
+    """Run a task grid through the artifact cache, fanning out on cores.
+
+    Parameters
+    ----------
+    tasks:
+        The grid (see :func:`build_grid`); row order follows task order
+        regardless of scheduling.
+    cache_dir:
+        Artifact-cache directory shared by all workers.  Defaults to
+        the ambient pipeline context's cache (if one is active); pass
+        ``None`` with no ambient context for a purely in-memory run.
+    workers:
+        Process count; ``None`` picks ``min(len(tasks), cpu_count)``,
+        and ``0``/``1`` runs serially in-process (no pool, useful under
+        pytest and for deterministic timing baselines).
+    base_seed:
+        Folded into every task's derived search seed.
+    keep_details:
+        Attach the full :class:`OptimizationResult` to each row (the
+        table drivers need it; costs pickling the conflict profile back
+        from each worker).
+    """
+    tasks = list(tasks)
+    cache_dir, workers, serial_context = _resolve_execution(
+        cache_dir, workers, len(tasks)
+    )
+
+    t0 = time.perf_counter()
+    if workers == 1 or len(tasks) <= 1:
+        # Serial: one shared context so the in-memory memo spans tasks.
+        rows = [
+            _run_task(task, cache_dir, base_seed, keep_details, context=serial_context)
+            for task in tasks
+        ]
+        workers = 1
+    else:
+        # Without a cache the workers' memos would be private and a
+        # benchmark's per-family tasks — scattered across the pool —
+        # would each recompute the shared profile/baseline.  A run-
+        # scoped temporary artifact dir restores the sharing; the
+        # result still reports an in-memory run (cache_dir None).
+        ephemeral = (
+            tempfile.TemporaryDirectory(prefix="repro-campaign-")
+            if cache_dir is None
+            else None
+        )
+        pool_cache_dir = ephemeral.name if ephemeral is not None else cache_dir
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(pool_cache_dir,),
+            ) as pool:
+                rows = list(
+                    pool.map(
+                        _run_task,
+                        tasks,
+                        [pool_cache_dir] * len(tasks),
+                        [base_seed] * len(tasks),
+                        [keep_details] * len(tasks),
+                    )
+                )
+        finally:
+            if ephemeral is not None:
+                ephemeral.cleanup()
+    return CampaignResult(
+        rows=rows,
+        workers=workers,
+        cache_dir=cache_dir,
+        seconds=time.perf_counter() - t0,
+        base_seed=base_seed,
+    )
+
+
+def _call_with_context(fn, item):
+    """Invoke ``fn(item)`` with the worker's pipeline context ambient."""
+    from repro.pipeline.runtime import use_context
+
+    with use_context(_worker_context):
+        return fn(item)
+
+
+def map_with_context(
+    fn,
+    items: Sequence,
+    cache_dir: str | Path | None = None,
+    workers: int | None = 1,
+):
+    """``[fn(item) for item in items]`` with a pipeline context active.
+
+    The generic sibling of :func:`run_campaign` for drivers whose rows
+    are not plain (benchmark, geometry, family) cells — e.g. Table 3's
+    exhaustive-optimum column.  ``fn`` must be picklable (a top-level
+    function or :func:`functools.partial` of one) when ``workers > 1``.
+    Result order follows ``items``.
+    """
+    items = list(items)
+    cache_dir, workers, serial_context = _resolve_execution(
+        cache_dir, workers, len(items)
+    )
+    if workers == 1 or len(items) <= 1:
+        from repro.pipeline.runtime import use_context
+
+        with use_context(serial_context):
+            return [fn(item) for item in items]
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(cache_dir,),
+    ) as pool:
+        return list(pool.map(_call_with_context, [fn] * len(items), items))
+
+
+def format_campaign(result: CampaignResult) -> str:
+    """Plain-text campaign report in the package's table style."""
+    # Imported here: the experiments package itself imports repro.core,
+    # which consults the pipeline runtime — a module-level import would
+    # be circular.
+    from repro.experiments.common import format_table
+
+    rows = [
+        [
+            f"{row.task.suite}/{row.task.benchmark}",
+            row.task.kind,
+            f"{row.task.cache_bytes // 1024}KB",
+            row.task.family,
+            row.base_misses_per_kuop,
+            row.removed_percent,
+            f"{row.seconds:.2f}s",
+        ]
+        for row in result.rows
+    ]
+    totals = result.cache_totals()
+    footer = (
+        f"{len(result.rows)} tasks, {result.workers} worker(s), "
+        f"{result.seconds:.2f}s wall; cache: {totals['hits']} hits, "
+        f"{totals['misses']} misses, {totals['stores']} stores"
+        + (f" @ {result.cache_dir}" if result.cache_dir else " (in-memory)")
+    )
+    return (
+        format_table(
+            ["workload", "kind", "cache", "family", "base m/Kuop", "removed %", "time"],
+            rows,
+            title="Campaign results",
+        )
+        + "\n"
+        + footer
+    )

@@ -1,0 +1,338 @@
+"""The pipeline session: one cache-fronted view of the whole flow.
+
+A :class:`PipelineContext` wraps an :class:`ArtifactCache` (optional —
+``cache=None`` gives a purely in-memory session) and exposes the
+pipeline's three expensive primitives with identical semantics to the
+uncached functions they front:
+
+* :meth:`profile` — :func:`repro.profiling.profile_trace`;
+* :meth:`baseline` / :meth:`evaluate` / :meth:`evaluate_many` — the
+  exact simulators in :mod:`repro.core.evaluate`;
+* :meth:`load_optimization` / :meth:`store_optimization` — whole
+  :class:`~repro.core.optimizer.OptimizationResult` records, so a warm
+  campaign replay skips even the hill climb.
+
+Activate a context (``with ctx.activate(): ...``) and every driver,
+example and ``optimize_for_trace`` call in the block transparently
+reads through the cache; results are bit-identical to uncached runs
+(property-tested in ``tests/pipeline``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.cache import engine
+from repro.cache.geometry import CacheGeometry
+from repro.cache.indexing import ModuloIndexing, XorIndexing
+from repro.cache.stats import CacheStats
+from repro.gf2.hashfn import XorHashFunction
+from repro.pipeline.artifact_cache import ArtifactCache, stable_key
+from repro.pipeline.runtime import use_context
+from repro.profiling.conflict_profile import ConflictProfile, profile_blocks
+from repro.trace.trace import Trace
+
+__all__ = ["PipelineContext"]
+
+
+def _geometry_params(geometry: CacheGeometry) -> dict:
+    return {
+        "size_bytes": geometry.size_bytes,
+        "block_size": geometry.block_size,
+        "associativity": geometry.associativity,
+    }
+
+
+def _stats_to_json(stats: CacheStats) -> dict:
+    return {
+        "accesses": stats.accesses,
+        "misses": stats.misses,
+        "compulsory": stats.compulsory,
+    }
+
+
+def _stats_from_json(payload: dict) -> CacheStats:
+    return CacheStats(
+        accesses=int(payload["accesses"]),
+        misses=int(payload["misses"]),
+        compulsory=int(payload["compulsory"]),
+    )
+
+
+def _function_to_json(fn: XorHashFunction) -> dict:
+    return {"n": fn.n, "columns": list(fn.columns)}
+
+
+def _function_from_json(payload: dict) -> XorHashFunction:
+    return XorHashFunction(int(payload["n"]), [int(c) for c in payload["columns"]])
+
+
+class PipelineContext:
+    """Session threading one artifact cache through the pipeline."""
+
+    def __init__(self, cache: ArtifactCache | str | Path | None = None):
+        if isinstance(cache, (str, Path)):
+            cache = ArtifactCache(cache)
+        self.cache = cache
+        # In-process memo over the disk store: repeated asks within one
+        # session (e.g. one profile shared by three families) cost a
+        # dict lookup, not an npz read.
+        self._memo: dict[tuple[str, str], object] = {}
+
+    def activate(self):
+        """``with ctx.activate():`` — make this the ambient context."""
+        return use_context(self)
+
+    @property
+    def cache_root(self) -> Path | None:
+        return self.cache.root if self.cache is not None else None
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        return self.cache.stats() if self.cache is not None else {}
+
+    # -- conflict profiles -------------------------------------------------
+
+    def profile(self, trace: Trace, geometry: CacheGeometry, n: int) -> ConflictProfile:
+        """Cached :func:`repro.profiling.profile_trace`.
+
+        Keyed by what the profile actually depends on: the trace
+        content, the block size (address granularity), the capacity in
+        blocks (the capacity-miss filter) and the window width ``n`` —
+        not the full geometry, so e.g. every associativity sharing a
+        capacity shares the profile.
+        """
+        key = stable_key(
+            "profile",
+            {
+                "trace": trace.digest,
+                "block_size": geometry.block_size,
+                "capacity_blocks": geometry.num_blocks,
+                "n": n,
+            },
+        )
+        memo_key = ("profile", key)
+        cached = self._memo.get(memo_key)
+        if cached is None and self.cache is not None:
+            cached = self.cache.load_profile(key)
+        if cached is None:
+            blocks = trace.block_addresses(geometry.block_size)
+            cached = profile_blocks(blocks, geometry.num_blocks, n)
+            if self.cache is not None:
+                self.cache.store_profile(key, cached)
+        self._memo[memo_key] = cached
+        return cached
+
+    # -- exact simulation --------------------------------------------------
+
+    def _indexing_params(self, indexing) -> dict:
+        if isinstance(indexing, XorIndexing):
+            return {"scheme": "xor", **_function_to_json(indexing.hash_function)}
+        if isinstance(indexing, ModuloIndexing):
+            return {"scheme": "modulo", "m": indexing.m}
+        raise TypeError(f"cannot key indexing policy {indexing!r}")
+
+    def _stats_key(self, trace: Trace, geometry: CacheGeometry, indexing) -> str:
+        return stable_key(
+            "stats",
+            {
+                "trace": trace.digest,
+                "geometry": _geometry_params(geometry),
+                "indexing": self._indexing_params(indexing),
+            },
+        )
+
+    def simulate(self, trace: Trace, geometry: CacheGeometry, indexing) -> CacheStats:
+        """Cached exact replay of ``trace`` through ``geometry``."""
+        key = self._stats_key(trace, geometry, indexing)
+        memo_key = ("stats", key)
+        cached = self._memo.get(memo_key)
+        if cached is None and self.cache is not None:
+            payload = self.cache.load_json("stats", key)
+            cached = _stats_from_json(payload) if payload is not None else None
+        if cached is None:
+            blocks = trace.block_addresses(geometry.block_size)
+            cached = engine.simulate(blocks, geometry, indexing)
+            if self.cache is not None:
+                self.cache.store_json("stats", key, _stats_to_json(cached))
+        self._memo[memo_key] = cached
+        return cached
+
+    def baseline(self, trace: Trace, geometry: CacheGeometry) -> CacheStats:
+        """Cached conventional-indexing (modulo) stats."""
+        return self.simulate(trace, geometry, ModuloIndexing(geometry.index_bits))
+
+    def evaluate(
+        self, trace: Trace, geometry: CacheGeometry, fn: XorHashFunction
+    ) -> CacheStats:
+        """Cached exact stats for one XOR hash function."""
+        return self.simulate(trace, geometry, XorIndexing(fn))
+
+    def evaluate_many(
+        self,
+        trace: Trace,
+        geometry: CacheGeometry,
+        functions: Sequence[XorHashFunction],
+    ) -> list[CacheStats]:
+        """Cached batched verification of a candidate front.
+
+        Only the functions without a cached artifact are simulated, in
+        one batched engine replay; their results are stored under the
+        same per-function keys :meth:`evaluate` uses.
+        """
+        functions = list(functions)
+        results: list[CacheStats | None] = [None] * len(functions)
+        missing: list[int] = []
+        keys: list[str] = []
+        for i, fn in enumerate(functions):
+            key = self._stats_key(trace, geometry, XorIndexing(fn))
+            keys.append(key)
+            cached = self._memo.get(("stats", key))
+            if cached is None and self.cache is not None:
+                payload = self.cache.load_json("stats", key)
+                if payload is not None:
+                    cached = _stats_from_json(payload)
+                    self._memo[("stats", key)] = cached
+            if cached is None:
+                missing.append(i)
+            else:
+                results[i] = cached
+        if missing:
+            computed = engine.evaluate_many(
+                trace, geometry, [functions[i] for i in missing]
+            )
+            for i, stats in zip(missing, computed):
+                results[i] = stats
+                self._memo[("stats", keys[i])] = stats
+                if self.cache is not None:
+                    self.cache.store_json("stats", keys[i], _stats_to_json(stats))
+        return results  # type: ignore[return-value]
+
+    # -- whole optimization outcomes ---------------------------------------
+
+    def _optimization_key(
+        self,
+        trace: Trace,
+        geometry: CacheGeometry,
+        family_name: str,
+        n: int,
+        guard: bool,
+        restarts: int,
+        seed: int,
+        max_steps: int | None,
+        profile_digest: str,
+    ) -> str:
+        return stable_key(
+            "optimization",
+            {
+                "trace": trace.digest,
+                "geometry": _geometry_params(geometry),
+                "family": family_name,
+                "n": n,
+                "guard": guard,
+                "restarts": restarts,
+                "seed": seed,
+                "max_steps": max_steps,
+                "profile": profile_digest,
+            },
+        )
+
+    def load_optimization(
+        self,
+        trace: Trace,
+        geometry: CacheGeometry,
+        family_name: str,
+        n: int,
+        guard: bool,
+        restarts: int,
+        seed: int,
+        max_steps: int | None,
+        profile: ConflictProfile,
+    ):
+        """Cached :class:`~repro.core.optimizer.OptimizationResult`.
+
+        The record stores everything but the profile, which the caller
+        already holds (it is cached separately and part of the key).
+        """
+        if self.cache is None:
+            return None
+        from repro.core.optimizer import OptimizationResult
+        from repro.search.hill_climb import SearchResult
+
+        key = self._optimization_key(
+            trace, geometry, family_name, n, guard, restarts, seed, max_steps,
+            profile.digest,
+        )
+        payload = self.cache.load_json("optimization", key)
+        if payload is None:
+            return None
+        search = payload["search"]
+        return OptimizationResult(
+            # The record may have been written by a different-named
+            # trace with identical content (digests ignore provenance);
+            # recomputing would label the result with *this* trace.
+            trace_name=trace.name,
+            geometry=geometry,
+            family_name=payload["family_name"],
+            hash_function=_function_from_json(payload["function"]),
+            baseline=_stats_from_json(payload["baseline"]),
+            optimized=_stats_from_json(payload["optimized"]),
+            search=SearchResult(
+                function=_function_from_json(search["function"]),
+                estimated_misses=int(search["estimated_misses"]),
+                start_misses=int(search["start_misses"]),
+                steps=int(search["steps"]),
+                evaluations=int(search["evaluations"]),
+                seconds=float(search["seconds"]),
+                history=[int(h) for h in search["history"]],
+                family_name=search["family_name"],
+            ),
+            profile=profile,
+            reverted=bool(payload["reverted"]),
+        )
+
+    def store_optimization(
+        self,
+        trace: Trace,
+        geometry: CacheGeometry,
+        family_name: str,
+        n: int,
+        guard: bool,
+        restarts: int,
+        seed: int,
+        max_steps: int | None,
+        result,
+    ) -> None:
+        if self.cache is None:
+            return
+        key = self._optimization_key(
+            trace, geometry, family_name, n, guard, restarts, seed, max_steps,
+            result.profile.digest,
+        )
+        search = result.search
+        self.cache.store_json(
+            "optimization",
+            key,
+            {
+                "trace_name": result.trace_name,
+                "family_name": result.family_name,
+                "function": _function_to_json(result.hash_function),
+                "baseline": _stats_to_json(result.baseline),
+                "optimized": _stats_to_json(result.optimized),
+                "search": {
+                    "function": _function_to_json(search.function),
+                    "estimated_misses": search.estimated_misses,
+                    "start_misses": search.start_misses,
+                    "steps": search.steps,
+                    "evaluations": search.evaluations,
+                    "seconds": search.seconds,
+                    "history": list(search.history),
+                    "family_name": search.family_name,
+                },
+                "reverted": result.reverted,
+            },
+        )
+
+    def __repr__(self) -> str:
+        root = str(self.cache.root) if self.cache is not None else None
+        return f"PipelineContext(cache={root!r}, memoized={len(self._memo)})"

@@ -1,0 +1,44 @@
+"""Ambient pipeline context.
+
+The active :class:`~repro.pipeline.context.PipelineContext` is carried
+in a :class:`contextvars.ContextVar` so the whole call tree — drivers,
+:func:`repro.core.optimizer.optimize_for_trace`, the evaluation helpers
+— transparently hits the same artifact cache without threading a
+``context=`` argument through every signature.  This module holds only
+the variable and its accessors; it imports nothing from :mod:`repro`,
+so the core layer can depend on it without an import cycle.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.context import PipelineContext
+
+__all__ = ["current_context", "use_context"]
+
+_active: ContextVar[Optional["PipelineContext"]] = ContextVar(
+    "repro_pipeline_context", default=None
+)
+
+
+def current_context() -> "PipelineContext | None":
+    """The pipeline context active on this thread of execution, if any."""
+    return _active.get()
+
+
+@contextmanager
+def use_context(context: "PipelineContext | None") -> Iterator["PipelineContext | None"]:
+    """Make ``context`` ambient for the duration of the ``with`` block.
+
+    Passing ``None`` temporarily disables an outer context (useful for
+    property tests that compare cached against uncached results).
+    """
+    token = _active.set(context)
+    try:
+        yield context
+    finally:
+        _active.reset(token)

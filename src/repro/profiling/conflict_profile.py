@@ -16,6 +16,7 @@ cache of the same size).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -58,7 +59,33 @@ class ConflictProfile:
             )
         if counts[0] != 0:
             raise ValueError("misses(0) must be zero: a block cannot conflict with itself")
+        # Frozen for real: the memoized digest keys cache artifacts.
+        # Copy when the conversion was a no-op on a writable caller
+        # array, so the freeze never leaks out as a side effect.
+        if counts is self.counts and counts.flags.writeable:
+            counts = counts.copy()
+        counts.setflags(write=False)
         object.__setattr__(self, "counts", counts)
+
+    @property
+    def digest(self) -> str:
+        """Stable content digest over every field of the profile.
+
+        Used by the artifact cache to key search outcomes against the
+        exact profile they were derived from.  Memoized per instance
+        (the counts array is frozen).
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            h = hashlib.sha256(b"conflict-profile-v1")
+            h.update(
+                f"|n={self.n}|compulsory={self.compulsory}|capacity={self.capacity}"
+                f"|accesses={self.accesses}|beyond={self.beyond_window}|".encode()
+            )
+            h.update(self.counts.tobytes())
+            cached = h.hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     @property
     def total_weight(self) -> int:
@@ -104,7 +131,10 @@ class ConflictProfile:
             Path(path),
             n=self.n,
             counts=self.counts,
-            meta=np.array([self.compulsory, self.capacity, self.accesses], dtype=np.int64),
+            meta=np.array(
+                [self.compulsory, self.capacity, self.accesses, self.beyond_window],
+                dtype=np.int64,
+            ),
         )
 
     @classmethod
@@ -117,6 +147,9 @@ class ConflictProfile:
                 compulsory=int(meta[0]),
                 capacity=int(meta[1]),
                 accesses=int(meta[2]),
+                # Archives written before beyond_window was persisted
+                # have a three-entry meta vector.
+                beyond_window=int(meta[3]) if len(meta) > 3 else 0,
             )
 
     def __repr__(self) -> str:

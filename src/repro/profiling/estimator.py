@@ -44,6 +44,7 @@ def estimate_misses_support(
 ) -> int:
     """Eq. 4 by scanning the profile support."""
     _check(profile, hash_function)
+    _check_table_width(profile.n)
     vectors, weights = profile.support()
     if len(vectors) == 0:
         return 0
@@ -61,9 +62,15 @@ def estimate_misses(
     """Eq. 4, choosing the cheaper evaluation side automatically."""
     _check(profile, hash_function)
     null_size = 1 << (hash_function.n - hash_function.rank)
-    if null_size <= profile.num_distinct_vectors:
+    if null_size <= profile.num_distinct_vectors or profile.n > _PARITY_TABLE_BITS:
         return estimate_misses_nullspace(profile, hash_function)
     return estimate_misses_support(profile, hash_function)
+
+
+#: Width of :func:`repro.gf2.bitvec.parity_table`, the real limit of the
+#: table-based (support-side) evaluation.  The null-space side has no
+#: width limit.
+_PARITY_TABLE_BITS = 16
 
 
 def _check(profile: ConflictProfile, hash_function: XorHashFunction) -> None:
@@ -72,8 +79,15 @@ def _check(profile: ConflictProfile, hash_function: XorHashFunction) -> None:
             f"profile window ({profile.n} bits) does not match hash function "
             f"({hash_function.n} bits)"
         )
-    if profile.n > 16:
-        raise ValueError("support-side estimation requires n <= 16")
+
+
+def _check_table_width(n: int) -> None:
+    if n > _PARITY_TABLE_BITS:
+        raise ValueError(
+            f"support-side estimation uses the {_PARITY_TABLE_BITS}-bit parity "
+            f"lookup table; a {n}-bit window exceeds it — use the null-space "
+            "side (estimate_misses_nullspace) instead"
+        )
 
 
 class MissEstimator:
@@ -89,7 +103,12 @@ class MissEstimator:
       candidate touches only that residue.
     """
 
+    #: Bound on ``candidates x residue-vectors`` elements materialized at
+    #: once by the batched evaluation (the int64 product stays ~32 MB).
+    CHUNK_ELEMENTS = 1 << 22
+
     def __init__(self, profile: ConflictProfile):
+        _check_table_width(profile.n)
         self.profile = profile
         self.n = profile.n
         vectors, weights = profile.support()
@@ -124,12 +143,39 @@ class MissEstimator:
         vectors = self._vectors[alive]
         weights = self._weights[alive]
         candidates = np.asarray(candidates, dtype=np.uint32)
+        out = np.zeros(len(candidates), dtype=np.int64)
+        if len(vectors):
+            # One 2-D gather per chunk: parity of every (candidate,
+            # residue-vector) pair at once.  A vector survives a
+            # candidate column when the parity is 0, so its weight is
+            # the residue total minus the odd-parity weight.
+            total = int(weights.sum())
+            rows = max(1, self.CHUNK_ELEMENTS // len(vectors))
+            table = self._table
+            for lo in range(0, len(candidates), rows):
+                chunk = candidates[lo : lo + rows]
+                odd = table[chunk[:, None] & vectors[None, :]]
+                out[lo : lo + rows] = total - odd.astype(np.int64) @ weights
+        self.evaluations += len(candidates)
+        return out
+
+    def _costs_with_column_replaced_loop(
+        self, columns: tuple[int, ...], column_index: int, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Per-candidate reference loop, kept as the oracle for property
+        tests of the batched 2-D evaluation above."""
+        fixed = tuple(
+            col for c, col in enumerate(columns) if c != column_index
+        )
+        alive = self._alive(fixed)
+        vectors = self._vectors[alive]
+        weights = self._weights[alive]
+        candidates = np.asarray(candidates, dtype=np.uint32)
         out = np.empty(len(candidates), dtype=np.int64)
         table = self._table
         for i, cand in enumerate(candidates):
             zero_parity = table[vectors & cand] == 0
             out[i] = weights[zero_parity].sum()
-        self.evaluations += len(candidates)
         return out
 
     def _alive(self, columns: tuple[int, ...]) -> np.ndarray:

@@ -9,12 +9,17 @@ byte addresses shifted right by 2.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
 __all__ = ["Trace"]
+
+#: Bumped whenever the digest recipe changes, so stale on-disk artifacts
+#: keyed by an older recipe can never be mistaken for current ones.
+_DIGEST_VERSION = b"trace-digest-v1"
 
 _VALID_KINDS = ("data", "instruction", "unified")
 
@@ -47,6 +52,14 @@ class Trace:
 
     def __post_init__(self):
         addresses = np.ascontiguousarray(self.addresses, dtype=np.uint64)
+        # Frozen for real: the content digest is memoized, so a mutable
+        # array would let a write silently poison every artifact keyed
+        # by it.  Copy first when the conversion was a no-op on a
+        # writable caller-owned array — freezing that in place would be
+        # a side effect on the caller.
+        if addresses is self.addresses and addresses.flags.writeable:
+            addresses = addresses.copy()
+        addresses.setflags(write=False)
         object.__setattr__(self, "addresses", addresses)
         if self.kind not in _VALID_KINDS:
             raise ValueError(f"kind must be one of {_VALID_KINDS}, got {self.kind!r}")
@@ -57,6 +70,25 @@ class Trace:
 
     def __len__(self) -> int:
         return len(self.addresses)
+
+    @property
+    def digest(self) -> str:
+        """Stable content digest of the reference stream.
+
+        Hashes the address bytes plus the fields that change simulation
+        or reporting results (``uops``, ``kind``) — but not ``name`` or
+        ``metadata``, which are provenance: two traces with identical
+        content share every derived artifact.  Computed once per
+        instance and memoized (the address array is frozen).
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            h = hashlib.sha256(_DIGEST_VERSION)
+            h.update(f"|uops={self.uops}|kind={self.kind}|".encode())
+            h.update(self.addresses.tobytes())
+            cached = h.hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     def block_addresses(self, block_size: int) -> np.ndarray:
         """Block addresses for the given block size (a power of two)."""

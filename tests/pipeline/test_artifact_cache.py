@@ -1,0 +1,79 @@
+"""Tests for the content-addressed artifact store."""
+
+import numpy as np
+
+from repro.pipeline.artifact_cache import (
+    CACHE_DIR_ENV,
+    ArtifactCache,
+    default_cache_dir,
+    stable_key,
+)
+from repro.profiling.conflict_profile import ConflictProfile
+
+
+class TestStableKey:
+    def test_deterministic_and_order_insensitive(self):
+        a = stable_key("profile", {"trace": "abc", "n": 16})
+        b = stable_key("profile", {"n": 16, "trace": "abc"})
+        assert a == b
+        assert len(a) == 64
+
+    def test_sensitive_to_kind_and_params(self):
+        base = stable_key("profile", {"trace": "abc", "n": 16})
+        assert base != stable_key("stats", {"trace": "abc", "n": 16})
+        assert base != stable_key("profile", {"trace": "abc", "n": 15})
+        assert base != stable_key("profile", {"trace": "abd", "n": 16})
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+
+class TestJsonArtifacts:
+    def test_round_trip_and_counters(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = stable_key("stats", {"x": 1})
+        assert cache.load_json("stats", key) is None
+        cache.store_json("stats", key, {"misses": 3, "accesses": 10})
+        assert cache.load_json("stats", key) == {"misses": 3, "accesses": 10}
+        assert cache.counters["stats"] == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_shared_directory_across_instances(self, tmp_path):
+        key = stable_key("stats", {"x": 2})
+        ArtifactCache(tmp_path).store_json("stats", key, {"v": 1})
+        assert ArtifactCache(tmp_path).load_json("stats", key) == {"v": 1}
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = stable_key("stats", {"x": 3})
+        cache.store_json("stats", key, {"v": 1})
+        cache.path_for("stats", key, ".json").write_text("{not json")
+        assert cache.load_json("stats", key) is None
+
+    def test_no_partial_files_left_behind(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = stable_key("stats", {"x": 4})
+        cache.store_json("stats", key, {"v": 1})
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.is_file() and p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+
+class TestProfileArtifacts:
+    def test_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        counts = np.zeros(16, dtype=np.int64)
+        counts[5] = 4
+        profile = ConflictProfile(
+            4, counts, compulsory=1, capacity=2, accesses=9, beyond_window=3
+        )
+        key = stable_key("profile", {"trace": "t"})
+        assert cache.load_profile(key) is None
+        cache.store_profile(key, profile)
+        loaded = cache.load_profile(key)
+        assert loaded.digest == profile.digest
+        assert cache.counters["profile"] == {"hits": 1, "misses": 1, "stores": 1}

@@ -1,0 +1,171 @@
+"""Tests for the parallel campaign runner."""
+
+import json
+
+from repro.pipeline import (
+    CampaignTask,
+    PipelineContext,
+    build_grid,
+    format_campaign,
+    run_campaign,
+)
+from repro.pipeline.campaign import map_with_context
+
+BENCHMARKS = ("qurt", "fir")
+
+
+def tiny_grid(families=("1-in", "2-in")):
+    return build_grid(
+        suite="powerstone",
+        benchmarks=BENCHMARKS,
+        cache_sizes=(1024,),
+        families=families,
+        scale="tiny",
+    )
+
+
+def rows_key(result):
+    return [
+        (r.task, r.base_misses, r.optimized_misses, r.removed_percent)
+        for r in result.rows
+    ]
+
+
+class TestGrid:
+    def test_cross_product(self):
+        tasks = build_grid(
+            suite="powerstone",
+            benchmarks=BENCHMARKS,
+            kinds=("data", "instruction"),
+            cache_sizes=(1024, 4096),
+            families=("1-in", "2-in", "4-in"),
+            scale="tiny",
+        )
+        assert len(tasks) == 2 * 2 * 2 * 3
+        assert len(set(tasks)) == len(tasks)  # tasks are hashable and unique
+
+    def test_default_benchmarks_cover_suite(self):
+        from repro.workloads.registry import workload_names
+
+        tasks = build_grid(suite="powerstone", cache_sizes=(1024,))
+        assert {t.benchmark for t in tasks} == set(workload_names("powerstone"))
+
+
+class TestSeeds:
+    def test_derived_seed_deterministic(self):
+        task = CampaignTask(suite="powerstone", benchmark="fir")
+        assert task.derive_seed(0) == task.derive_seed(0)
+        assert task.derive_seed(0) != task.derive_seed(1)
+
+    def test_derived_seed_differs_per_task(self):
+        seeds = {task.derive_seed(0) for task in tiny_grid()}
+        assert len(seeds) == len(tiny_grid())
+
+
+class TestRunCampaign:
+    def test_serial_and_parallel_agree(self, tmp_path):
+        tasks = tiny_grid()
+        serial = run_campaign(tasks, workers=1)
+        parallel = run_campaign(
+            tasks, cache_dir=tmp_path / "parallel-cache", workers=2
+        )
+        assert serial.workers == 1 and parallel.workers == 2
+        assert rows_key(serial) == rows_key(parallel)
+
+    def test_warm_replay_is_fully_cached_and_identical(self, tmp_path):
+        tasks = tiny_grid()
+        cold = run_campaign(tasks, cache_dir=tmp_path, workers=1)
+        warm = run_campaign(tasks, cache_dir=tmp_path, workers=1)
+        assert not cold.fully_cached and cold.cache_totals()["stores"] > 0
+        assert warm.fully_cached
+        assert warm.cache_totals()["hits"] > 0
+        assert rows_key(warm) == rows_key(cold)
+
+    def test_row_order_follows_task_order(self, tmp_path):
+        tasks = tiny_grid()
+        result = run_campaign(tasks, cache_dir=tmp_path, workers=2)
+        assert [r.task for r in result.rows] == tasks
+
+    def test_keep_details_attaches_results(self, tmp_path):
+        tasks = tiny_grid(families=("2-in",))
+        result = run_campaign(tasks, cache_dir=tmp_path, workers=1, keep_details=True)
+        for row in result.rows:
+            detail = row.result
+            assert detail is not None
+            assert detail.optimized.misses == row.optimized_misses
+            assert detail.removed_percent == row.removed_percent
+
+    def test_in_memory_run_is_never_fully_cached(self):
+        """Without an artifact cache every task computes from scratch,
+        so the run must not report itself as a cached replay."""
+        result = run_campaign(tiny_grid(families=("2-in",)), workers=1)
+        assert result.cache_dir is None
+        assert not result.fully_cached
+        assert not result.to_json()["fully_cached"]
+
+    def test_parallel_in_memory_run_shares_artifacts(self):
+        """A no-cache parallel run uses a run-scoped temporary artifact
+        dir so per-family tasks share profiles, but still reports an
+        in-memory run and matches the serial results."""
+        tasks = tiny_grid()
+        parallel = run_campaign(tasks, workers=2)
+        assert parallel.cache_dir is None and not parallel.fully_cached
+        assert rows_key(parallel) == rows_key(run_campaign(tasks, workers=1))
+        # The ephemeral dir was used (counters exist) and cleaned up
+        # (nothing under the default location was touched).
+        assert parallel.cache_totals()["stores"] > 0
+
+    def test_ambient_context_supplies_cache_dir(self, tmp_path):
+        tasks = tiny_grid(families=("2-in",))
+        with PipelineContext(tmp_path).activate():
+            result = run_campaign(tasks, workers=1)
+        assert result.cache_dir == str(tmp_path)
+        warm = run_campaign(tasks, cache_dir=tmp_path, workers=1)
+        assert warm.fully_cached
+
+    def test_to_json_is_serializable(self, tmp_path):
+        result = run_campaign(tiny_grid(families=("2-in",)), workers=1)
+        payload = json.loads(json.dumps(result.to_json()))
+        assert payload["workers"] == 1
+        assert len(payload["rows"]) == 2
+        row = payload["rows"][0]
+        assert {"benchmark", "family", "removed_percent", "search_seed"} <= set(row)
+
+    def test_format_campaign(self):
+        result = run_campaign(tiny_grid(families=("2-in",)), workers=1)
+        text = format_campaign(result)
+        assert "powerstone/fir" in text and "removed %" in text
+        assert "cache:" in text
+
+
+class TestMapWithContext:
+    def test_preserves_order_serial(self):
+        assert map_with_context(_double, [3, 1, 2], workers=1) == [6, 2, 4]
+
+    def test_preserves_order_parallel(self, tmp_path):
+        assert map_with_context(
+            _double, [3, 1, 2], cache_dir=tmp_path, workers=2
+        ) == [6, 2, 4]
+
+    def test_context_is_active_inside(self, tmp_path):
+        roots = map_with_context(_cache_root, [0], cache_dir=tmp_path, workers=1)
+        assert roots == [str(tmp_path)]
+
+    def test_explicit_cache_dir_beats_ambient_serially(self, tmp_path):
+        """A serial map must honor an explicit cache_dir even under an
+        ambient session backed elsewhere (same rule as workers > 1)."""
+        dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+        with PipelineContext(dir_a).activate():
+            roots = map_with_context(_cache_root, [0], cache_dir=dir_b, workers=1)
+        assert roots == [str(dir_b)]
+
+
+def _double(x):
+    return 2 * x
+
+
+def _cache_root(_):
+    from repro.pipeline.runtime import current_context
+
+    context = current_context()
+    return str(context.cache.root) if context.cache is not None else None

@@ -1,0 +1,187 @@
+"""Pipeline session tests: cached results must be bit-identical to
+uncached ones, cold or warm, with or without an active context."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.cache import engine
+from repro.cache.geometry import CacheGeometry
+from repro.cache.indexing import ModuloIndexing, XorIndexing
+from repro.core.evaluate import (
+    baseline_stats,
+    evaluate_hash_function,
+    evaluate_hash_functions,
+)
+from repro.core.optimizer import optimize_for_trace
+from repro.gf2.hashfn import XorHashFunction
+from repro.pipeline import PipelineContext, current_context, use_context
+from repro.profiling.conflict_profile import profile_trace
+from repro.trace.trace import Trace
+from tests.conftest import block_traces, hash_functions
+
+N = 10  # hashed bits for the small property-test geometry
+
+
+def make_trace(blocks):
+    return Trace(np.asarray(blocks, dtype=np.uint64) * 4, name="prop")
+
+
+class TestAmbientContext:
+    def test_activate_and_reset(self, tmp_path):
+        assert current_context() is None
+        ctx = PipelineContext(tmp_path)
+        with ctx.activate():
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_use_context_none_disables(self, tmp_path):
+        ctx = PipelineContext(tmp_path)
+        with ctx.activate():
+            with use_context(None):
+                assert current_context() is None
+            assert current_context() is ctx
+
+    def test_memory_only_session(self, conflict_trace, geometry_1kb):
+        """cache=None still memoizes within the session."""
+        ctx = PipelineContext(None)
+        first = ctx.profile(conflict_trace, geometry_1kb, 16)
+        assert ctx.profile(conflict_trace, geometry_1kb, 16) is first
+        assert ctx.cache_root is None and ctx.cache_stats() == {}
+
+
+class TestBitIdentical:
+    """Acceptance property: cached == uncached, exactly."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(blocks=block_traces(max_block=1 << N), fn=hash_functions(n=N, m=5))
+    def test_evaluate_cached_equals_engine(self, tmp_path_factory, blocks, fn):
+        tmp = tmp_path_factory.mktemp("cache")
+        trace = make_trace(blocks)
+        geometry = CacheGeometry.direct_mapped((1 << 5) * 4)
+        direct = engine.simulate(
+            trace.block_addresses(4), geometry, XorIndexing(fn)
+        )
+        ctx = PipelineContext(tmp)
+        with ctx.activate():
+            cold = evaluate_hash_function(trace, geometry, fn)
+        with PipelineContext(tmp).activate():
+            warm = evaluate_hash_function(trace, geometry, fn)
+        assert cold == direct and warm == direct
+
+    @settings(max_examples=15, deadline=None)
+    @given(blocks=block_traces(max_block=1 << N))
+    def test_profile_cached_equals_direct(self, tmp_path_factory, blocks):
+        tmp = tmp_path_factory.mktemp("cache")
+        trace = make_trace(blocks)
+        geometry = CacheGeometry.direct_mapped(128)
+        direct = profile_trace(trace, geometry, N)
+        cold = PipelineContext(tmp).profile(trace, geometry, N)
+        warm = PipelineContext(tmp).profile(trace, geometry, N)
+        for cached in (cold, warm):
+            assert cached.digest == direct.digest
+            assert (cached.counts == direct.counts).all()
+
+    def test_optimize_cached_equals_uncached(self, conflict_trace, tmp_path):
+        geometry = CacheGeometry.direct_mapped(1024)
+        plain = optimize_for_trace(conflict_trace, geometry, family="2-in")
+        cold = optimize_for_trace(
+            conflict_trace, geometry, family="2-in",
+            context=PipelineContext(tmp_path),
+        )
+        warm = optimize_for_trace(
+            conflict_trace, geometry, family="2-in",
+            context=PipelineContext(tmp_path),
+        )
+        for result in (cold, warm):
+            assert result.hash_function.columns == plain.hash_function.columns
+            assert result.baseline == plain.baseline
+            assert result.optimized == plain.optimized
+            assert result.removed_percent == plain.removed_percent
+            assert result.search.estimated_misses == plain.search.estimated_misses
+            assert result.search.history == plain.search.history
+            assert result.search.steps == plain.search.steps
+            assert result.profile.digest == plain.profile.digest
+            assert result.reverted == plain.reverted
+
+    def test_warm_optimize_loads_not_computes(self, conflict_trace, tmp_path):
+        geometry = CacheGeometry.direct_mapped(1024)
+        ctx = PipelineContext(tmp_path)
+        optimize_for_trace(conflict_trace, geometry, family="2-in", context=ctx)
+        warm_ctx = PipelineContext(tmp_path)
+        optimize_for_trace(conflict_trace, geometry, family="2-in", context=warm_ctx)
+        stats = warm_ctx.cache_stats()
+        assert stats["profile"] == {"hits": 1, "misses": 0, "stores": 0}
+        assert stats["optimization"] == {"hits": 1, "misses": 0, "stores": 0}
+
+
+class TestKeySeparation:
+    def test_different_parameters_do_not_collide(self, conflict_trace, tmp_path):
+        ctx = PipelineContext(tmp_path)
+        g1 = CacheGeometry.direct_mapped(1024)
+        g4 = CacheGeometry.direct_mapped(4096)
+        r1 = optimize_for_trace(conflict_trace, g1, family="2-in", context=ctx)
+        r4 = optimize_for_trace(conflict_trace, g4, family="2-in", context=ctx)
+        assert r1.geometry != r4.geometry
+        r16 = optimize_for_trace(conflict_trace, g1, family="16-in", context=ctx)
+        # Family names are unique per parameterization ("perm-2in" vs
+        # "perm"), so the records cannot collide.
+        assert r16.family_name != r1.family_name
+        # All three were computed, none served from another's record.
+        assert ctx.cache_stats()["optimization"]["stores"] == 3
+
+    def test_cache_hit_keeps_current_trace_name(self, conflict_trace, tmp_path):
+        """Digests ignore provenance, so a same-content trace under a
+        different name may hit another trace's record — the result must
+        still be labeled with the trace that was asked about."""
+        geometry = CacheGeometry.direct_mapped(1024)
+        twin = Trace(
+            conflict_trace.addresses, uops=conflict_trace.uops, name="twin"
+        )
+        assert twin.digest == conflict_trace.digest
+        ctx = PipelineContext(tmp_path)
+        optimize_for_trace(conflict_trace, geometry, family="2-in", context=ctx)
+        hit = optimize_for_trace(twin, geometry, family="2-in", context=ctx)
+        assert ctx.cache_stats()["optimization"]["hits"] == 1
+        assert hit.trace_name == "twin"
+
+    def test_guard_in_key(self, conflict_trace, tmp_path):
+        ctx = PipelineContext(tmp_path)
+        geometry = CacheGeometry.direct_mapped(1024)
+        optimize_for_trace(conflict_trace, geometry, family="2-in", context=ctx)
+        optimize_for_trace(
+            conflict_trace, geometry, family="2-in", guard=True, context=ctx
+        )
+        assert ctx.cache_stats()["optimization"]["stores"] == 2
+
+
+class TestEvaluateMany:
+    def test_partial_cache_fills_only_missing(self, conflict_trace, tmp_path):
+        geometry = CacheGeometry.direct_mapped(1024)
+        rng = np.random.default_rng(0)
+        functions = [
+            XorHashFunction.random(16, geometry.index_bits, rng) for _ in range(4)
+        ]
+        expected = engine.evaluate_many(conflict_trace, geometry, functions)
+
+        ctx = PipelineContext(tmp_path)
+        with ctx.activate():
+            # Prime the cache with one candidate only.
+            evaluate_hash_function(conflict_trace, geometry, functions[2])
+        warm = PipelineContext(tmp_path)
+        with warm.activate():
+            batched = evaluate_hash_functions(conflict_trace, geometry, functions)
+        assert batched == expected
+        assert warm.cache_stats()["stats"]["hits"] == 1
+        assert warm.cache_stats()["stats"]["stores"] == 3
+
+    def test_modulo_baseline_cached(self, conflict_trace, tmp_path):
+        geometry = CacheGeometry.direct_mapped(1024)
+        direct = engine.simulate(
+            conflict_trace.block_addresses(4), geometry,
+            ModuloIndexing(geometry.index_bits),
+        )
+        ctx = PipelineContext(tmp_path)
+        with ctx.activate():
+            assert baseline_stats(conflict_trace, geometry) == direct
+        with PipelineContext(tmp_path).activate():
+            assert baseline_stats(conflict_trace, geometry) == direct

@@ -119,12 +119,47 @@ class TestProfileObject:
     def test_save_load_round_trip(self, tmp_path):
         counts = np.zeros(16, dtype=np.int64)
         counts[7] = 11
-        profile = ConflictProfile(4, counts, compulsory=2, capacity=3, accesses=50)
+        profile = ConflictProfile(
+            4, counts, compulsory=2, capacity=3, accesses=50, beyond_window=9
+        )
         path = tmp_path / "profile.npz"
         profile.save(path)
         loaded = ConflictProfile.load(path)
+        assert loaded.n == profile.n
         assert (loaded.counts == profile.counts).all()
         assert loaded.compulsory == 2 and loaded.capacity == 3 and loaded.accesses == 50
+        assert loaded.beyond_window == 9
+
+    def test_load_legacy_archive_without_beyond_window(self, tmp_path):
+        """Archives written before beyond_window was persisted (a
+        three-entry meta vector) must still load."""
+        counts = np.zeros(16, dtype=np.int64)
+        counts[3] = 5
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path, n=4, counts=counts, meta=np.array([1, 2, 30], dtype=np.int64)
+        )
+        loaded = ConflictProfile.load(path)
+        assert loaded.compulsory == 1 and loaded.capacity == 2 and loaded.accesses == 30
+        assert loaded.beyond_window == 0
+
+    def test_counts_are_immutable(self):
+        counts = np.zeros(16, dtype=np.int64)
+        counts[7] = 11
+        profile = ConflictProfile(4, counts)
+        with pytest.raises(ValueError):
+            profile.counts[3] = 1
+
+    def test_digest_tracks_every_field(self):
+        counts = np.zeros(16, dtype=np.int64)
+        counts[7] = 11
+        profile = ConflictProfile(4, counts, beyond_window=1)
+        same = ConflictProfile(4, counts.copy(), beyond_window=1)
+        assert profile.digest == same.digest
+        assert profile.digest != ConflictProfile(4, counts, beyond_window=2).digest
+        other_counts = counts.copy()
+        other_counts[7] = 12
+        assert profile.digest != ConflictProfile(4, other_counts, beyond_window=1).digest
 
     def test_weight_of_bounds(self):
         profile = ConflictProfile(4, np.zeros(16, dtype=np.int64))

@@ -1,6 +1,7 @@
 """Tests for the Eq. 4 miss estimator."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -103,6 +104,38 @@ class TestMissEstimator:
             replaced[column] = int(cand)
             assert estimator.cost(tuple(replaced)) == cost
 
+    @settings(max_examples=30, deadline=None)
+    @given(profiles(), hash_functions(n=10, m=4), st.data())
+    def test_vectorized_column_replacement_matches_loop(self, profile, fn, data):
+        """The 2-D parity-table evaluation equals the per-candidate
+        reference loop it replaced."""
+        estimator = MissEstimator(profile)
+        column = data.draw(st.integers(min_value=0, max_value=fn.m - 1))
+        count = data.draw(st.integers(min_value=0, max_value=12))
+        candidates = np.array(
+            [data.draw(st.integers(min_value=0, max_value=(1 << 10) - 1))
+             for _ in range(count)],
+            dtype=np.uint32,
+        )
+        batched = estimator.costs_with_column_replaced(fn.columns, column, candidates)
+        loop = estimator._costs_with_column_replaced_loop(fn.columns, column, candidates)
+        assert batched.dtype == np.int64
+        assert (batched == loop).all()
+
+    def test_vectorized_column_replacement_chunks(self):
+        """Forcing tiny chunks must not change the batched results."""
+        counts = np.zeros(1 << 10, dtype=np.int64)
+        rng = np.random.default_rng(3)
+        counts[rng.integers(1, 1 << 10, size=40)] = rng.integers(1, 50, size=40)
+        estimator = MissEstimator(ConflictProfile(10, counts))
+        columns = (0b1, 0b10, 0b1100)
+        candidates = rng.integers(0, 1 << 10, size=33).astype(np.uint32)
+        expected = estimator._costs_with_column_replaced_loop(columns, 1, candidates)
+        estimator.CHUNK_ELEMENTS = 4  # a handful of vectors per chunk
+        assert (
+            estimator.costs_with_column_replaced(columns, 1, candidates) == expected
+        ).all()
+
     def test_evaluation_counter(self):
         counts = np.zeros(16, dtype=np.int64)
         counts[1] = 1
@@ -115,3 +148,30 @@ class TestMissEstimator:
         estimator = MissEstimator(ConflictProfile(4, np.zeros(16, dtype=np.int64)))
         assert estimator.cost((0b1,)) == 0
         assert estimator.support_size == 0
+
+
+class TestWideWindows:
+    """Windows beyond the 16-bit parity table: only the table-based
+    (support-side) paths are limited; the null-space side is not."""
+
+    def _wide_profile(self, n=17):
+        counts = np.zeros(1 << n, dtype=np.int64)
+        counts[1 << 16] = 7  # a vector outside any 16-bit table
+        counts[3] = 2
+        return ConflictProfile(n, counts)
+
+    def test_nullspace_side_has_no_width_limit(self):
+        profile = self._wide_profile()
+        fn = XorHashFunction(17, [1 << c for c in range(14)])
+        expected = sum(int(profile.counts[v]) for v in fn.null_space())
+        assert estimate_misses_nullspace(profile, fn) == expected
+        # The auto-dispatcher must route wide windows to the null space.
+        assert estimate_misses(profile, fn) == expected
+
+    def test_support_side_names_the_table_limit(self):
+        profile = self._wide_profile()
+        fn = XorHashFunction(17, [1 << c for c in range(14)])
+        with pytest.raises(ValueError, match="16-bit parity"):
+            estimate_misses_support(profile, fn)
+        with pytest.raises(ValueError, match="16-bit parity"):
+            MissEstimator(profile)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -48,6 +50,60 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "Eq. 3" in out
+
+    def test_tables_only_table1(self, capsys):
+        code = main(["tables", "--only", "table1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1: switches for reconfigurable indexing" in out
+        assert "scheme" in out and "permutation-based" in out
+
+    def test_tables_with_cache_dir(self, capsys, tmp_path):
+        code = main(
+            ["tables", "--only", "table1", "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_campaign_runs_and_writes_json(self, capsys, tmp_path):
+        out_json = tmp_path / "campaign.json"
+        code = main([
+            "campaign", "--suite", "powerstone",
+            "--benchmarks", "qurt", "fir",
+            "--cache-kb", "1", "--families", "2-in",
+            "--scale", "tiny", "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(out_json),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Campaign results" in out
+        assert "powerstone/qurt" in out and "powerstone/fir" in out
+        assert "removed %" in out and "base m/Kuop" in out
+        payload = json.loads(out_json.read_text())
+        assert len(payload["rows"]) == 2 and not payload["fully_cached"]
+
+    def test_campaign_empty_grid_fails_loudly(self, capsys, tmp_path):
+        """An empty grid must not let --expect-cached pass vacuously."""
+        code = main([
+            "campaign", "--suite", "powerstone", "--kinds",
+            "--cache-dir", str(tmp_path / "cache"), "--expect-cached",
+        ])
+        assert code == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_campaign_expect_cached(self, capsys, tmp_path):
+        args = [
+            "campaign", "--suite", "powerstone", "--benchmarks", "qurt",
+            "--cache-kb", "1", "--families", "2-in", "--scale", "tiny",
+            "--workers", "1", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        # Cold run against an empty cache cannot satisfy --expect-cached...
+        assert main(args + ["--expect-cached"]) == 1
+        capsys.readouterr()
+        # ...but the warm replay must.
+        assert main(args + ["--expect-cached"]) == 0
+        assert "Campaign results" in capsys.readouterr().out
 
     def test_instruction_kind(self, capsys):
         code = main(

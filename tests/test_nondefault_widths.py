@@ -43,10 +43,17 @@ class TestNarrowWindow:
         assert narrow.beyond_window >= wide.beyond_window
         assert narrow.total_weight <= wide.total_weight
 
-    def test_estimator_rejects_overwide_window(self):
-        """Support-side estimation is table-driven and capped at 16 bits."""
+    def test_overwide_window_uses_nullspace_side(self):
+        """Only support-side estimation is table-driven and capped at 16
+        bits; the dispatcher must route wider windows to the null-space
+        side, which has no width limit."""
         from repro.profiling.conflict_profile import ConflictProfile
+        from repro.profiling.estimator import estimate_misses_support
 
-        profile = ConflictProfile(17, np.zeros(1 << 17, dtype=np.int64))
-        with pytest.raises(ValueError):
-            estimate_misses(profile, XorHashFunction.modulo(17, 4))
+        counts = np.zeros(1 << 17, dtype=np.int64)
+        counts[1 << 16] = 5
+        profile = ConflictProfile(17, counts)
+        fn = XorHashFunction.modulo(17, 4)
+        assert estimate_misses(profile, fn) == 5  # 1<<16 is in N(fn)
+        with pytest.raises(ValueError, match="16-bit parity"):
+            estimate_misses_support(profile, fn)

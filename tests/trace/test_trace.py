@@ -42,6 +42,57 @@ class TestBlocks:
         assert tr.footprint_bytes(4) == 8
 
 
+class TestDigest:
+    def test_stable_across_instances(self):
+        a = Trace(np.array([1, 2, 3], dtype=np.uint64), uops=10)
+        b = Trace(np.array([1, 2, 3], dtype=np.uint64), uops=10)
+        assert a.digest == b.digest
+        assert len(a.digest) == 64  # sha256 hex
+
+    def test_memoized(self):
+        trace = Trace(np.array([1, 2, 3], dtype=np.uint64))
+        assert trace.digest is trace.digest
+
+    def test_addresses_are_immutable(self):
+        """The memoized digest keys on-disk artifacts, so the digested
+        array must reject writes instead of silently going stale."""
+        trace = Trace(np.array([1, 2, 3], dtype=np.uint64))
+        _ = trace.digest
+        with pytest.raises(ValueError):
+            trace.addresses[0] = 999
+        head = trace.head(2)
+        with pytest.raises(ValueError):
+            head.addresses[0] = 999
+
+    def test_freeze_does_not_leak_to_caller_array(self):
+        """Passing an already-contiguous uint64 buffer must not freeze
+        the caller's copy of it."""
+        buffer = np.array([1, 2, 3], dtype=np.uint64)
+        trace = Trace(buffer)
+        _ = trace.digest
+        buffer[0] = 999  # caller's buffer stays writable...
+        assert int(trace.addresses[0]) == 1  # ...and the trace is unaffected
+
+    def test_sensitive_to_content_uops_and_kind(self):
+        base = Trace(np.array([1, 2, 3], dtype=np.uint64), uops=10)
+        assert base.digest != Trace(
+            np.array([1, 2, 4], dtype=np.uint64), uops=10
+        ).digest
+        assert base.digest != Trace(
+            np.array([1, 2, 3], dtype=np.uint64), uops=11
+        ).digest
+        assert base.digest != Trace(
+            np.array([1, 2, 3], dtype=np.uint64), uops=10, kind="instruction"
+        ).digest
+
+    def test_ignores_provenance(self):
+        """Name and metadata are identity, not content: equal streams
+        share every content-addressed artifact."""
+        a = Trace(np.array([5, 6], dtype=np.uint64), name="a", metadata={"x": 1})
+        b = Trace(np.array([5, 6], dtype=np.uint64), name="b", metadata={"y": 2})
+        assert a.digest == b.digest
+
+
 class TestManipulation:
     def test_head_truncates_and_scales_uops(self):
         tr = Trace(np.arange(100), uops=1000)
