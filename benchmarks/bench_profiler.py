@@ -1,0 +1,139 @@
+"""Vectorized vs per-access Fig. 1 profiling on a long mixed trace.
+
+Two entry points:
+
+* ``python benchmarks/bench_profiler.py`` — standalone: profiles a
+  >= 1M-access synthetic trace (hot loop + conflicting streams +
+  capacity-miss noise, the three regimes a real workload mixes) with
+  the chunked vectorized kernel and with the retired per-access
+  live-slot kernel, verifies the profiles are bit-identical, prints
+  the timings, writes ``BENCH_profiler.json`` and exits non-zero if
+  the kernel is not >= the required speedup (default 10x);
+* ``pytest benchmarks/bench_profiler.py`` — pytest-benchmark variant
+  on a reduced trace for trend tracking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.profiling.conflict_profile import (
+    profile_blocks,
+    profile_blocks_slotted,
+)
+
+PAPER_HASHED_BITS = 16
+CAPACITY_BLOCKS = 256  # 8 KB cache of 32 B blocks, the paper's scale
+
+
+def build_trace(accesses: int, seed: int = 42) -> np.ndarray:
+    """A mixed trace with the three profiling regimes.
+
+    Roughly equal thirds: a small hot loop (conflict vectors from a
+    live working set), interleaved strided streams (capacity misses
+    with short slot lifetimes — the probing worst case), and random
+    accesses over a footprint past the capacity (capacity misses with
+    long slot lifetimes).
+    """
+    rng = np.random.default_rng(seed)
+    third = accesses // 3
+    hot_set = rng.permutation(np.arange(64, dtype=np.uint64))
+    hot = np.tile(hot_set, third // len(hot_set) + 1)[:third]
+    stream = np.concatenate(
+        [k * 2048 + np.arange(180, dtype=np.uint64) for k in range(4)]
+    )
+    streams = np.tile(stream, third // len(stream) + 1)[:third]
+    noise = rng.integers(
+        0, 1 << 14, size=accesses - len(hot) - len(streams)
+    ).astype(np.uint64)
+    return np.concatenate([hot, streams, noise])
+
+
+def run(accesses: int) -> dict:
+    blocks = build_trace(accesses)
+    t0 = time.perf_counter()
+    fast = profile_blocks(blocks, CAPACITY_BLOCKS, PAPER_HASHED_BITS)
+    fast_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    slow = profile_blocks_slotted(blocks, CAPACITY_BLOCKS, PAPER_HASHED_BITS)
+    slow_s = time.perf_counter() - t0
+
+    assert (fast.counts == slow.counts).all(), "profiles diverge"
+    assert fast.compulsory == slow.compulsory
+    assert fast.capacity == slow.capacity
+    assert fast.beyond_window == slow.beyond_window
+    return {
+        "accesses": len(blocks),
+        "capacity_blocks": CAPACITY_BLOCKS,
+        "n": PAPER_HASHED_BITS,
+        "total_weight": fast.total_weight,
+        "capacity_misses": fast.capacity,
+        "vectorized_seconds": round(fast_s, 4),
+        "per_access_seconds": round(slow_s, 4),
+        "speedup": round(slow_s / fast_s, 2),
+        "accesses_per_second_vectorized": round(len(blocks) / fast_s),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--accesses", type=int, default=1_200_000,
+        help="trace length (the acceptance floor is measured at >= 1M)",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_profiler.json",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=10.0,
+        help="required vectorized-over-per-access speedup",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(args.accesses)
+    results["min_speedup_required"] = args.min_speedup
+    results["passed"] = results["speedup"] >= args.min_speedup
+
+    print(f"Fig. 1 profiling, {results['accesses']} accesses "
+          f"(capacity {CAPACITY_BLOCKS} blocks, n={PAPER_HASHED_BITS}):")
+    print(f"  per-access kernel  {results['per_access_seconds']:8.2f}s")
+    print(f"  vectorized kernel  {results['vectorized_seconds']:8.2f}s  "
+          f"({results['accesses_per_second_vectorized']:,} accesses/s)")
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not results["passed"]:
+        print(
+            f"FAIL: profiler speedup {results['speedup']:.1f}x "
+            f"< {args.min_speedup:.0f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: profiler speedup {results['speedup']:.1f}x "
+          f">= {args.min_speedup:.0f}x")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark variant (reduced trace)
+# ---------------------------------------------------------------------------
+
+
+def test_vectorized_profiler(benchmark):
+    blocks = build_trace(200_000)
+    profile = benchmark(
+        profile_blocks, blocks, CAPACITY_BLOCKS, PAPER_HASHED_BITS
+    )
+    slow = profile_blocks_slotted(blocks, CAPACITY_BLOCKS, PAPER_HASHED_BITS)
+    assert (profile.counts == slow.counts).all()
+    assert profile.capacity == slow.capacity
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

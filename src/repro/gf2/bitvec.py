@@ -17,6 +17,7 @@ __all__ = [
     "bits_of",
     "from_bits",
     "parity_table",
+    "parity_array",
     "dot",
     "weight_at_most",
 ]
@@ -90,6 +91,43 @@ def parity_table() -> np.ndarray:
             folded = folded ^ (folded >> np.uint16(shift))
         _parity16 = (folded & np.uint16(1)).astype(np.uint8)
     return _parity16
+
+
+_parity_byte: np.ndarray | None = None
+
+
+def _parity_byte_table() -> np.ndarray:
+    """256-entry parity lookup table, one entry per byte value."""
+    global _parity_byte
+    if _parity_byte is None:
+        folded = np.arange(256, dtype=np.uint8)
+        for shift in (4, 2, 1):
+            folded = folded ^ (folded >> np.uint8(shift))
+        _parity_byte = folded & np.uint8(1)
+    return _parity_byte
+
+
+def parity_array(values: np.ndarray) -> np.ndarray:
+    """Elementwise parity of an integer array of any shape and width.
+
+    The wide-window parity kernel: unlike :func:`parity_table` (a
+    16-bit value-indexed gather) it has no operand-width limit, so the
+    estimator's support-side evaluation works for hashed windows of any
+    ``n``.  Uses ``np.bitwise_count`` on NumPy >= 2.0; otherwise views
+    the operands as packed bytes and XOR-reduces a 256-entry byte
+    parity table over them, one table row per operand byte.
+
+    Returns a ``uint8`` array of 0/1 parities with ``values``'s shape.
+    """
+    values = np.asarray(values)
+    if values.dtype.kind != "u":
+        values = values.astype(np.uint64)
+    if _HAS_BITWISE_COUNT:
+        return (np.bitwise_count(values) & values.dtype.type(1)).astype(np.uint8)
+    values = np.ascontiguousarray(values)
+    itemsize = values.dtype.itemsize
+    as_bytes = values.view(np.uint8).reshape(values.shape + (itemsize,))
+    return np.bitwise_xor.reduce(_parity_byte_table()[as_bytes], axis=-1)
 
 
 def parity_u64(values: np.ndarray, column_mask: int) -> np.ndarray:

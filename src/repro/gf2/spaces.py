@@ -16,6 +16,8 @@ from collections.abc import Iterable, Iterator
 
 from itertools import combinations
 
+import numpy as np
+
 from repro.gf2.bitvec import mask
 from repro.gf2.matrix import GF2Matrix
 
@@ -179,6 +181,22 @@ class Subspace:
             # bit of i, visiting every combination exactly once.
             value ^= self._basis[(i & -i).bit_length() - 1]
             yield value
+
+    def member_array(self) -> np.ndarray:
+        """All ``2**dim`` member vectors as one ``uint64`` array.
+
+        Vectorized doubling over the basis — each basis vector XORs the
+        members enumerated so far — so no per-member Python iteration;
+        the order differs from :meth:`__iter__`.  Requires ``n <= 64``.
+        """
+        if self._n > 64:
+            raise ValueError(
+                f"member_array packs vectors into uint64; ambient {self._n} > 64"
+            )
+        members = np.zeros(1, dtype=np.uint64)
+        for b in self._basis:
+            members = np.concatenate([members, members ^ np.uint64(b)])
+        return members
 
     # ------------------------------------------------------------------
     # Lattice operations

@@ -96,6 +96,10 @@ class PipelineContext:
     def profile(self, trace: Trace, geometry: CacheGeometry, n: int) -> ConflictProfile:
         """Cached :func:`repro.profiling.profile_trace`.
 
+        Cache misses run the chunked vectorized profiling kernel
+        (:func:`repro.profiling.profile_blocks`), so even the cold path
+        has no per-access Python loop.
+
         Keyed by what the profile actually depends on: the trace
         content, the block size (address granularity), the capacity in
         blocks (the capacity-miss filter) and the window width ``n`` —

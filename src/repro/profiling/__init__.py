@@ -4,6 +4,7 @@ from repro.profiling.conflict_profile import (
     ConflictProfile,
     profile_blocks,
     profile_blocks_reference,
+    profile_blocks_slotted,
     profile_trace,
 )
 from repro.profiling.estimator import (
@@ -28,6 +29,7 @@ __all__ = [
     "ConflictProfile",
     "profile_blocks",
     "profile_blocks_reference",
+    "profile_blocks_slotted",
     "profile_trace",
     "MissEstimator",
     "estimate_misses",

@@ -5,10 +5,17 @@
 Two evaluation strategies with identical results:
 
 * *null-space side*: enumerate the ``2^(n-m)`` vectors of ``N(H)`` and
-  sum their histogram entries — cheap when ``n - m`` is small;
+  sum their histogram entries in one fancy-indexed gather — cost
+  ``O(2^(n-m))``, cheap when the rank is close to ``n``;
 * *support side*: test every profiled vector for null-space membership
-  (``parity(v & h_c) == 0`` for all columns) — cheap when the profile
-  support is smaller than the null space.
+  (``parity(v & h_c) == 0`` for all columns) — cost ``O(m x support)``,
+  cheap when the profile support is smaller than the null space.
+
+Neither side is width-limited: narrow windows use the 16-bit parity
+lookup table, wider ones the :func:`repro.gf2.bitvec.parity_array`
+kernel (``np.bitwise_count`` or a packed-byte-table fallback).
+:func:`estimate_misses` picks the cheaper side by comparing the two
+cost terms.
 
 :class:`MissEstimator` packages the support arrays once per profile and
 adds the batched single-column evaluation the hill climber relies on.
@@ -18,7 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.gf2.bitvec import parity_table
+from repro.gf2.bitvec import parity_array, parity_table
 from repro.gf2.hashfn import XorHashFunction
 from repro.profiling.conflict_profile import ConflictProfile
 
@@ -29,48 +36,66 @@ __all__ = [
     "MissEstimator",
 ]
 
+#: Width of :func:`repro.gf2.bitvec.parity_table`.  At or below it the
+#: support-side paths use the value-indexed table gather (one lookup
+#: per element); above it they switch to the wide parity kernel.  It
+#: is a strategy threshold, not a limit.
+_PARITY_TABLE_BITS = 16
+
+
+def _support_dtype(n: int) -> np.dtype:
+    return np.dtype(np.uint32 if n <= 32 else np.uint64)
+
 
 def estimate_misses_nullspace(
     profile: ConflictProfile, hash_function: XorHashFunction
 ) -> int:
-    """Eq. 4 by enumerating the null space."""
+    """Eq. 4 by enumerating the null space.
+
+    One vectorized enumeration of the ``2^(n - rank)`` null-space
+    members plus one fancy-indexed gather into the histogram.
+    """
     _check(profile, hash_function)
-    counts = profile.counts
-    return int(sum(int(counts[v]) for v in hash_function.null_space()))
+    members = hash_function.null_space().member_array()
+    return int(profile.counts[members.astype(np.intp)].sum())
 
 
 def estimate_misses_support(
     profile: ConflictProfile, hash_function: XorHashFunction
 ) -> int:
-    """Eq. 4 by scanning the profile support."""
+    """Eq. 4 by scanning the profile support.
+
+    One parity pass per column over the non-zero histogram entries —
+    ``O(m x support)`` for any window width ``n``.
+    """
     _check(profile, hash_function)
-    _check_table_width(profile.n)
     vectors, weights = profile.support()
     if len(vectors) == 0:
         return 0
-    table = parity_table()
-    alive = np.ones(len(vectors), dtype=bool)
-    small = vectors.astype(np.uint32)
-    for col in hash_function.columns:
-        np.logical_and(alive, table[small & np.uint32(col)] == 0, out=alive)
+    alive = _members_of_nullspace(
+        vectors.astype(_support_dtype(profile.n)),
+        hash_function.columns,
+        profile.n,
+    )
     return int(weights[alive].sum())
 
 
 def estimate_misses(
     profile: ConflictProfile, hash_function: XorHashFunction
 ) -> int:
-    """Eq. 4, choosing the cheaper evaluation side automatically."""
+    """Eq. 4, choosing the cheaper evaluation side by cost model.
+
+    The null-space side gathers ``2^(n - rank)`` histogram entries;
+    the support side runs ``m`` parity passes over the profile
+    support.  Both are exact, so the routing is purely a performance
+    choice.
+    """
     _check(profile, hash_function)
     null_size = 1 << (hash_function.n - hash_function.rank)
-    if null_size <= profile.num_distinct_vectors or profile.n > _PARITY_TABLE_BITS:
+    support_cost = len(hash_function.columns) * profile.num_distinct_vectors
+    if null_size <= support_cost:
         return estimate_misses_nullspace(profile, hash_function)
     return estimate_misses_support(profile, hash_function)
-
-
-#: Width of :func:`repro.gf2.bitvec.parity_table`, the real limit of the
-#: table-based (support-side) evaluation.  The null-space side has no
-#: width limit.
-_PARITY_TABLE_BITS = 16
 
 
 def _check(profile: ConflictProfile, hash_function: XorHashFunction) -> None:
@@ -81,13 +106,25 @@ def _check(profile: ConflictProfile, hash_function: XorHashFunction) -> None:
         )
 
 
-def _check_table_width(n: int) -> None:
-    if n > _PARITY_TABLE_BITS:
-        raise ValueError(
-            f"support-side estimation uses the {_PARITY_TABLE_BITS}-bit parity "
-            f"lookup table; a {n}-bit window exceeds it — use the null-space "
-            "side (estimate_misses_nullspace) instead"
-        )
+def _members_of_nullspace(
+    vectors: np.ndarray, columns: tuple[int, ...], n: int
+) -> np.ndarray:
+    """Boolean mask of ``vectors`` annihilated by every column mask."""
+    alive = np.ones(len(vectors), dtype=bool)
+    if n <= _PARITY_TABLE_BITS:
+        table = parity_table()
+        for col in columns:
+            np.logical_and(
+                alive, table[vectors & vectors.dtype.type(col)] == 0, out=alive
+            )
+    else:
+        for col in columns:
+            np.logical_and(
+                alive,
+                parity_array(vectors & vectors.dtype.type(col)) == 0,
+                out=alive,
+            )
+    return alive
 
 
 class MissEstimator:
@@ -95,12 +132,17 @@ class MissEstimator:
 
     The hill climber asks two questions many times per step:
 
-    * the cost of a full column set (:meth:`cost`);
+    * the cost of a full column set (:meth:`cost`) — one parity pass
+      per column over the support;
     * the costs of replacing a single column by each of many candidate
       masks while the others stay fixed
       (:meth:`costs_with_column_replaced`) — the support is first
       reduced to vectors annihilated by the *fixed* columns, then each
-      candidate touches only that residue.
+      candidate touches only that residue via one 2-D parity gather,
+      ``O(candidates x residue)`` overall.
+
+    Works for any window width: windows beyond the 16-bit parity table
+    evaluate through :func:`repro.gf2.bitvec.parity_array`.
     """
 
     #: Bound on ``candidates x residue-vectors`` elements materialized at
@@ -108,13 +150,12 @@ class MissEstimator:
     CHUNK_ELEMENTS = 1 << 22
 
     def __init__(self, profile: ConflictProfile):
-        _check_table_width(profile.n)
         self.profile = profile
         self.n = profile.n
         vectors, weights = profile.support()
-        self._vectors = vectors.astype(np.uint32)
+        self._vectors = vectors.astype(_support_dtype(profile.n))
         self._weights = weights.astype(np.int64)
-        self._table = parity_table()
+        self._table = parity_table() if profile.n <= _PARITY_TABLE_BITS else None
         self.evaluations = 0
 
     @property
@@ -142,19 +183,20 @@ class MissEstimator:
         alive = self._alive(fixed)
         vectors = self._vectors[alive]
         weights = self._weights[alive]
-        candidates = np.asarray(candidates, dtype=np.uint32)
+        candidates = np.asarray(candidates, dtype=vectors.dtype)
         out = np.zeros(len(candidates), dtype=np.int64)
         if len(vectors):
-            # One 2-D gather per chunk: parity of every (candidate,
-            # residue-vector) pair at once.  A vector survives a
-            # candidate column when the parity is 0, so its weight is
-            # the residue total minus the odd-parity weight.
+            # One 2-D parity gather per chunk: parity of every
+            # (candidate, residue-vector) pair at once.  A vector
+            # survives a candidate column when the parity is 0, so its
+            # weight is the residue total minus the odd-parity weight.
             total = int(weights.sum())
             rows = max(1, self.CHUNK_ELEMENTS // len(vectors))
             table = self._table
             for lo in range(0, len(candidates), rows):
                 chunk = candidates[lo : lo + rows]
-                odd = table[chunk[:, None] & vectors[None, :]]
+                masked = chunk[:, None] & vectors[None, :]
+                odd = table[masked] if table is not None else parity_array(masked)
                 out[lo : lo + rows] = total - odd.astype(np.int64) @ weights
         self.evaluations += len(candidates)
         return out
@@ -170,19 +212,13 @@ class MissEstimator:
         alive = self._alive(fixed)
         vectors = self._vectors[alive]
         weights = self._weights[alive]
-        candidates = np.asarray(candidates, dtype=np.uint32)
+        candidates = np.asarray(candidates, dtype=vectors.dtype)
         out = np.empty(len(candidates), dtype=np.int64)
-        table = self._table
         for i, cand in enumerate(candidates):
-            zero_parity = table[vectors & cand] == 0
+            zero_parity = _members_of_nullspace(vectors, (int(cand),), self.n)
             out[i] = weights[zero_parity].sum()
         return out
 
     def _alive(self, columns: tuple[int, ...]) -> np.ndarray:
         """Support vectors annihilated by every given column."""
-        alive = np.ones(len(self._vectors), dtype=bool)
-        table = self._table
-        vectors = self._vectors
-        for col in columns:
-            np.logical_and(alive, table[vectors & np.uint32(col)] == 0, out=alive)
-        return alive
+        return _members_of_nullspace(self._vectors, columns, self.n)

@@ -17,7 +17,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.profiling.conflict_profile import ConflictProfile, profile_blocks
+from repro.profiling.conflict_profile import (
+    ConflictProfile,
+    _profile_into,
+    profile_blocks,
+)
 
 __all__ = ["SamplingReport", "profile_blocks_sampled", "sampling_quality"]
 
@@ -34,24 +38,40 @@ def profile_blocks_sampled(
     ``period=1`` degenerates to full profiling.  Each window is
     profiled independently (the LRU stack restarts), which slightly
     under-counts conflicts that straddle window boundaries.
+
+    Every window runs through the vectorized profiling kernel and
+    accumulates into one shared histogram, so merging adds no
+    per-window Python overhead (no intermediate profile objects or
+    ``2^n``-sized temporaries).
     """
     if window < 1:
         raise ValueError(f"window must be >= 1, got {window}")
     if period < 1:
         raise ValueError(f"period must be >= 1, got {period}")
-    blocks = np.asarray(blocks, dtype=np.uint64)
+    blocks = np.ascontiguousarray(np.asarray(blocks), dtype=np.uint64)
+    if capacity_blocks < 1:
+        raise ValueError(f"capacity must be >= 1 block, got {capacity_blocks}")
     if period == 1:
         return profile_blocks(blocks, capacity_blocks, n)
-    merged: ConflictProfile | None = None
+    counts = np.zeros(1 << n, dtype=np.int64)
+    compulsory = capacity = beyond_window = accesses = 0
     for start in range(0, len(blocks), window * period):
         chunk = blocks[start : start + window]
         if len(chunk) == 0:
             break
-        part = profile_blocks(chunk, capacity_blocks, n)
-        merged = part if merged is None else merged.merged_with(part)
-    if merged is None:
-        merged = profile_blocks(blocks[:0], capacity_blocks, n)
-    return merged
+        com, cap, bey = _profile_into(chunk, capacity_blocks, n, counts)
+        compulsory += com
+        capacity += cap
+        beyond_window += bey
+        accesses += len(chunk)
+    return ConflictProfile(
+        n,
+        counts,
+        compulsory=compulsory,
+        capacity=capacity,
+        accesses=accesses,
+        beyond_window=beyond_window,
+    )
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,7 @@ from repro.gf2.bitvec import (
     from_bits,
     mask,
     parity,
+    parity_array,
     parity_table,
     parity_u64,
     popcount,
@@ -103,6 +104,60 @@ class TestParityTable:
         values = np.arange(512, dtype=np.uint64)
         expected = np.array([parity(int(v) & col) for v in values], dtype=np.uint8)
         assert (parity_u64(values, col) == expected).all()
+
+
+class TestParityArray:
+    """The wide-window parity kernel against the scalar ``parity``."""
+
+    @pytest.mark.parametrize("n", [8, 16, 20, 32])
+    def test_matches_scalar_at_width(self, n):
+        rng = np.random.default_rng(n)
+        values = rng.integers(0, 1 << n, size=512, dtype=np.uint64)
+        expected = np.array([parity(int(v)) for v in values], dtype=np.uint8)
+        assert (parity_array(values) == expected).all()
+
+    @pytest.mark.parametrize("n", [8, 16, 20, 32])
+    def test_fallback_matches_scalar_at_width(self, n, monkeypatch):
+        import repro.gf2.bitvec as bitvec
+
+        rng = np.random.default_rng(n + 1)
+        values = rng.integers(0, 1 << n, size=512, dtype=np.uint64)
+        expected = np.array([parity(int(v)) for v in values], dtype=np.uint8)
+        monkeypatch.setattr(bitvec, "_HAS_BITWISE_COUNT", False)
+        assert (parity_array(values) == expected).all()
+
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.uint32, np.uint64])
+    def test_unsigned_dtypes_preserved(self, dtype):
+        rng = np.random.default_rng(3)
+        bits = 8 * np.dtype(dtype).itemsize
+        values = rng.integers(0, 1 << min(bits, 62), size=256).astype(dtype)
+        expected = np.array([parity(int(v)) for v in values], dtype=np.uint8)
+        out = parity_array(values)
+        assert out.dtype == np.uint8
+        assert (out == expected).all()
+
+    def test_full_64_bit_values(self, monkeypatch):
+        import repro.gf2.bitvec as bitvec
+
+        values = np.array([2**64 - 1, 2**63, 2**63 + 1, 0], dtype=np.uint64)
+        expected = np.array([0, 1, 0, 0], dtype=np.uint8)
+        assert (parity_array(values) == expected).all()
+        monkeypatch.setattr(bitvec, "_HAS_BITWISE_COUNT", False)
+        assert (parity_array(values) == expected).all()
+
+    def test_2d_shape_preserved(self):
+        values = np.arange(24, dtype=np.uint64).reshape(4, 6)
+        out = parity_array(values)
+        assert out.shape == (4, 6)
+        assert out[0, 3] == parity(3)
+
+    def test_signed_and_list_inputs(self):
+        assert (parity_array([0, 1, 3, 7]) == np.array([0, 1, 0, 1])).all()
+        signed = np.array([5, 6], dtype=np.int64)
+        assert (parity_array(signed) == np.array([0, 0])).all()
+
+    def test_empty(self):
+        assert parity_array(np.zeros(0, dtype=np.uint64)).shape == (0,)
 
 
 class TestNumpyCompatFallback:

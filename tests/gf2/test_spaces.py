@@ -165,3 +165,21 @@ class TestRandomAndCounting:
         assert Subspace.full(5).dim == 5
         assert Subspace.zero(5).dim == 0
         assert Subspace.span_of_units([0, 2], 5).pivots == (2, 0)
+
+
+class TestMemberArray:
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=5), st.integers(min_value=0))
+    def test_matches_iteration(self, dim, seed):
+        space = Subspace.random(10, dim, np.random.default_rng(seed))
+        assert sorted(space.member_array().tolist()) == sorted(space)
+        assert space.member_array().dtype == np.uint64
+
+    def test_zero_space(self):
+        assert Subspace.zero(8).member_array().tolist() == [0]
+
+    def test_rejects_overwide_ambient(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Subspace([1], 65).member_array()

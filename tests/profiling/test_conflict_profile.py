@@ -10,10 +10,19 @@ from repro.profiling.conflict_profile import (
     ConflictProfile,
     profile_blocks,
     profile_blocks_reference,
+    profile_blocks_slotted,
     profile_trace,
 )
 from repro.trace.trace import Trace
 from tests.conftest import block_traces
+
+
+def assert_profiles_equal(a: ConflictProfile, b: ConflictProfile) -> None:
+    assert (a.counts == b.counts).all()
+    assert a.compulsory == b.compulsory
+    assert a.capacity == b.capacity
+    assert a.beyond_window == b.beyond_window
+    assert a.accesses == b.accesses
 
 
 class TestHandWorkedExample:
@@ -64,10 +73,87 @@ class TestFastEqualsReference:
     def test_equivalence(self, blocks, capacity):
         fast = profile_blocks(blocks, capacity, 10)
         slow = profile_blocks_reference(blocks, capacity, 10)
-        assert (fast.counts == slow.counts).all()
-        assert fast.compulsory == slow.compulsory
-        assert fast.capacity == slow.capacity
-        assert fast.beyond_window == slow.beyond_window
+        assert_profiles_equal(fast, slow)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        block_traces(max_block=1 << 10),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=48),
+    )
+    def test_equivalence_any_chunking(self, blocks, capacity, chunk_size):
+        """Chunk boundaries must not be observable in the result."""
+        fast = profile_blocks(blocks, capacity, 10, chunk_size=chunk_size)
+        slow = profile_blocks_reference(blocks, capacity, 10)
+        assert_profiles_equal(fast, slow)
+
+    @settings(max_examples=30, deadline=None)
+    @given(block_traces(max_block=1 << 10), st.integers(min_value=1, max_value=64))
+    def test_slotted_oracle_agrees(self, blocks, capacity):
+        """The retired per-access kernel stays a valid second oracle."""
+        assert_profiles_equal(
+            profile_blocks_slotted(blocks, capacity, 10),
+            profile_blocks_reference(blocks, capacity, 10),
+        )
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 1 << 12])
+    def test_capacity_one(self, chunk_size):
+        """capacity_blocks=1: every reuse is a capacity miss."""
+        blocks = np.array([1, 2, 1, 2, 3, 3, 1], dtype=np.uint64)
+        fast = profile_blocks(blocks, 1, 8, chunk_size=chunk_size)
+        assert_profiles_equal(fast, profile_blocks_reference(blocks, 1, 8))
+        assert fast.total_weight == 0
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 1 << 12])
+    def test_all_duplicates(self, chunk_size):
+        """A single block repeated: no vectors, one compulsory miss."""
+        blocks = np.full(257, 42, dtype=np.uint64)
+        fast = profile_blocks(blocks, 4, 8, chunk_size=chunk_size)
+        assert_profiles_equal(fast, profile_blocks_reference(blocks, 4, 8))
+        assert fast.compulsory == 1 and fast.total_weight == 0
+
+    def test_empty_trace(self):
+        fast = profile_blocks(np.zeros(0, dtype=np.uint64), 4, 8)
+        assert fast.accesses == 0 and fast.total_weight == 0
+        assert fast.compulsory == 0 and fast.capacity == 0
+
+    @pytest.mark.parametrize("chunk_size", [2, 1 << 12])
+    def test_near_2_64_addresses(self, chunk_size):
+        """Blocks with bit 63 set must not wrap into negative int64
+        territory on any path (uint64 end to end)."""
+        blocks = np.array(
+            [2**64 - 8, 2**63, 2**64 - 8, 2**63 + 1, 2**63, 2**64 - 8],
+            dtype=np.uint64,
+        )
+        reference = profile_blocks_reference(blocks, 16, 10)
+        assert_profiles_equal(
+            profile_blocks(blocks, 16, 10, chunk_size=chunk_size), reference
+        )
+        assert_profiles_equal(profile_blocks_slotted(blocks, 16, 10), reference)
+        assert reference.total_weight > 0
+
+    def test_python_list_input_with_wide_addresses(self):
+        """Plain-list input with values past int64 must profile, not
+        overflow (the old int64 coercion raised OverflowError)."""
+        blocks = [2**64 - 8, 2**63, 2**64 - 8]
+        fast = profile_blocks(blocks, 16, 10)
+        assert_profiles_equal(fast, profile_blocks_reference(blocks, 16, 10))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=2**63 - 4, max_value=2**64 - 1),
+            min_size=0,
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_equivalence_near_2_64(self, values, capacity):
+        blocks = np.array(values, dtype=np.uint64)
+        assert_profiles_equal(
+            profile_blocks(blocks, capacity, 10, chunk_size=5),
+            profile_blocks_reference(blocks, capacity, 10),
+        )
 
 
 class TestProfileObject:

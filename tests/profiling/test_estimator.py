@@ -151,8 +151,8 @@ class TestMissEstimator:
 
 
 class TestWideWindows:
-    """Windows beyond the 16-bit parity table: only the table-based
-    (support-side) paths are limited; the null-space side is not."""
+    """Windows beyond the 16-bit parity table: the support side runs on
+    the wide parity kernel and must agree with the null-space side."""
 
     def _wide_profile(self, n=17):
         counts = np.zeros(1 << n, dtype=np.int64)
@@ -165,13 +165,57 @@ class TestWideWindows:
         fn = XorHashFunction(17, [1 << c for c in range(14)])
         expected = sum(int(profile.counts[v]) for v in fn.null_space())
         assert estimate_misses_nullspace(profile, fn) == expected
-        # The auto-dispatcher must route wide windows to the null space.
         assert estimate_misses(profile, fn) == expected
 
-    def test_support_side_names_the_table_limit(self):
+    def test_support_side_has_no_width_limit(self):
         profile = self._wide_profile()
         fn = XorHashFunction(17, [1 << c for c in range(14)])
-        with pytest.raises(ValueError, match="16-bit parity"):
-            estimate_misses_support(profile, fn)
-        with pytest.raises(ValueError, match="16-bit parity"):
-            MissEstimator(profile)
+        assert estimate_misses_support(profile, fn) == \
+            estimate_misses_nullspace(profile, fn)
+
+    @settings(max_examples=20, deadline=None)
+    @given(hash_functions(n=20, m=6), st.data())
+    def test_wide_support_equals_nullspace(self, fn, data):
+        n = 20
+        counts = np.zeros(1 << n, dtype=np.int64)
+        entries = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=1, max_value=(1 << n) - 1),
+                    st.integers(min_value=1, max_value=50),
+                ),
+                max_size=20,
+            )
+        )
+        for vector, weight in entries:
+            counts[vector] += weight
+        profile = ConflictProfile(n, counts)
+        assert estimate_misses_support(profile, fn) == \
+            estimate_misses_nullspace(profile, fn)
+
+    def test_wide_estimator_agrees_with_nullspace(self):
+        n = 20
+        counts = np.zeros(1 << n, dtype=np.int64)
+        rng = np.random.default_rng(11)
+        counts[rng.integers(1, 1 << n, size=200)] = rng.integers(1, 40, size=200)
+        profile = ConflictProfile(n, counts)
+        fn = XorHashFunction(n, [(1 << c) | (1 << 19) for c in range(8)])
+        estimator = MissEstimator(profile)
+        assert estimator.cost_of(fn) == estimate_misses_nullspace(profile, fn)
+        candidates = rng.integers(0, 1 << n, size=40).astype(np.uint32)
+        batched = estimator.costs_with_column_replaced(fn.columns, 2, candidates)
+        loop = estimator._costs_with_column_replaced_loop(fn.columns, 2, candidates)
+        assert (batched == loop).all()
+        for cand, cost in zip(candidates[:5], batched[:5]):
+            replaced = list(fn.columns)
+            replaced[2] = int(cand)
+            assert estimate_misses_nullspace(
+                profile, XorHashFunction(n, replaced)
+            ) == cost
+
+    def test_support_dtype_widens_past_32_bits(self):
+        from repro.profiling.estimator import _support_dtype
+
+        assert _support_dtype(16) == np.uint32
+        assert _support_dtype(32) == np.uint32
+        assert _support_dtype(33) == np.uint64

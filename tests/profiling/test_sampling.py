@@ -16,10 +16,35 @@ def _stationary_conflict_trace():
 
 class TestSampledProfiling:
     def test_period_one_equals_full(self):
+        """On the vectorized kernel, period=1 must reproduce the full
+        profile exactly, every field included."""
         blocks = _stationary_conflict_trace()
         full = profile_blocks(blocks, 64, 12)
         sampled = profile_blocks_sampled(blocks, 64, 12, window=100, period=1)
         assert (full.counts == sampled.counts).all()
+        assert sampled.compulsory == full.compulsory
+        assert sampled.capacity == full.capacity
+        assert sampled.accesses == full.accesses
+        assert sampled.beyond_window == full.beyond_window
+
+    def test_accumulated_merge_equals_per_window_profiles(self):
+        """The no-intermediate-profile accumulation must equal merging
+        per-window profiles explicitly."""
+        blocks = _stationary_conflict_trace()
+        window, period = 640, 3
+        sampled = profile_blocks_sampled(blocks, 64, 12, window=window, period=period)
+        merged = None
+        for start in range(0, len(blocks), window * period):
+            chunk = blocks[start : start + window]
+            if len(chunk) == 0:
+                break
+            part = profile_blocks(chunk, 64, 12)
+            merged = part if merged is None else merged.merged_with(part)
+        assert (sampled.counts == merged.counts).all()
+        assert sampled.compulsory == merged.compulsory
+        assert sampled.capacity == merged.capacity
+        assert sampled.accesses == merged.accesses
+        assert sampled.beyond_window == merged.beyond_window
 
     def test_sampling_shrinks_weight_roughly_proportionally(self):
         blocks = _stationary_conflict_trace()

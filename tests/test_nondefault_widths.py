@@ -43,10 +43,10 @@ class TestNarrowWindow:
         assert narrow.beyond_window >= wide.beyond_window
         assert narrow.total_weight <= wide.total_weight
 
-    def test_overwide_window_uses_nullspace_side(self):
-        """Only support-side estimation is table-driven and capped at 16
-        bits; the dispatcher must route wider windows to the null-space
-        side, which has no width limit."""
+    def test_overwide_window_works_on_both_sides(self):
+        """Windows beyond the 16-bit parity table evaluate on both the
+        null-space side and the wide-parity support side; the
+        dispatcher's cost model may pick either."""
         from repro.profiling.conflict_profile import ConflictProfile
         from repro.profiling.estimator import estimate_misses_support
 
@@ -55,5 +55,13 @@ class TestNarrowWindow:
         profile = ConflictProfile(17, counts)
         fn = XorHashFunction.modulo(17, 4)
         assert estimate_misses(profile, fn) == 5  # 1<<16 is in N(fn)
-        with pytest.raises(ValueError, match="16-bit parity"):
-            estimate_misses_support(profile, fn)
+        assert estimate_misses_support(profile, fn) == 5
+
+    def test_wide_window_end_to_end(self, small_conflict_trace):
+        """The full pipeline runs at n = 18, past the parity table."""
+        geometry = CacheGeometry.direct_mapped(1024)
+        result = optimize_for_trace(
+            small_conflict_trace, geometry, family="2-in", n=18
+        )
+        assert result.hash_function.n == 18
+        assert result.optimized.misses <= result.baseline.misses
