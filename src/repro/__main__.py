@@ -3,6 +3,8 @@
 Commands:
 
 * ``optimize``  — construct an index function for a bundled workload;
+* ``search``    — run the estimate-only search (any strategy, any
+  restart count) without the exact verification replay;
 * ``campaign``  — run a benchmark x cache x family grid through the
   artifact cache, in parallel across cores;
 * ``tables``    — regenerate the paper's tables/figures;
@@ -59,6 +61,55 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_strategy(spec: str):
+    """Validate a --strategy spec before any expensive work.
+
+    Returns the strategy instance or ``None`` after printing a clean
+    error — a typo must not surface as a traceback from a worker
+    process minutes into a campaign.
+    """
+    from repro.search import strategy_for_name
+
+    try:
+        return strategy_for_name(spec)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    from repro.cache.geometry import PAPER_HASHED_BITS
+    from repro.profiling.conflict_profile import profile_trace
+    from repro.search import family_for_name, hill_climb_front
+
+    strategy = _resolve_strategy(args.strategy)
+    if strategy is None:
+        return 2
+    trace = get_workload(args.suite, args.name, args.scale, args.seed).trace(args.kind)
+    geometry = CacheGeometry.direct_mapped(args.cache_kb * 1024)
+    family = family_for_name(
+        args.family, PAPER_HASHED_BITS, geometry.index_bits
+    )
+    profile = profile_trace(trace, geometry, PAPER_HASHED_BITS)
+    front = hill_climb_front(
+        profile, family, restarts=args.restarts, seed=args.seed,
+        max_steps=args.max_steps, strategy=strategy,
+    )
+    best = min(front, key=lambda result: result.estimated_misses)
+    print(f"{trace.name} @ {geometry}: family {family.name}, "
+          f"strategy {strategy.name}")
+    for i, result in enumerate(front):
+        label = "conventional" if i == 0 else f"restart {i}"
+        marker = " <- best" if result is best else ""
+        print(f"  {label:>12}: est {result.estimated_misses} "
+              f"(from {result.start_misses}), {result.steps} steps, "
+              f"{result.evaluations} evaluations, "
+              f"{result.seconds:.2f}s{marker}")
+    print()
+    print(best.function.describe())
+    return 0
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     trace = get_workload(args.suite, args.name, args.scale, args.seed).trace(args.kind)
     geometry = CacheGeometry.direct_mapped(args.cache_kb * 1024)
@@ -78,6 +129,8 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    if _resolve_strategy(args.strategy) is None:
+        return 2
     tasks = build_grid(
         suite=args.suite,
         benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
@@ -87,6 +140,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         scale=args.scale,
         workload_seed=args.seed,
         guard=args.guard,
+        strategy=args.strategy,
     )
     if not tasks:
         print("error: the campaign grid is empty", file=sys.stderr)
@@ -174,6 +228,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_opt.set_defaults(func=cmd_optimize)
 
+    p_search = sub.add_parser(
+        "search",
+        help="estimate-only hash search with a pluggable strategy",
+    )
+    _add_workload_args(p_search)
+    p_search.add_argument(
+        "--family", default="2-in",
+        choices=("1-in", "2-in", "4-in", "16-in", "general"),
+    )
+    p_search.add_argument(
+        "--strategy", default="steepest",
+        help="search strategy: steepest (paper), first-improvement, "
+             "beam[:K], anneal[:ITERS[:SEED]]",
+    )
+    p_search.add_argument(
+        "--restarts", type=int, default=0,
+        help="random restarts beyond the conventional start "
+             "(advanced in lockstep for point strategies)",
+    )
+    p_search.add_argument(
+        "--max-steps", type=int, default=None,
+        help="bound on accepted search steps",
+    )
+    p_search.set_defaults(func=cmd_search)
+
     p_cls = sub.add_parser("classify", help="three-Cs miss breakdown")
     _add_workload_args(p_cls)
     p_cls.set_defaults(func=cmd_classify)
@@ -200,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument(
         "--families", nargs="*", default=["2-in"],
         choices=("1-in", "2-in", "4-in", "16-in", "general"),
+    )
+    p_camp.add_argument(
+        "--strategy", default="steepest",
+        help="search strategy for every task (default: the paper's "
+             "steepest descent)",
     )
     p_camp.add_argument(
         "--scale", choices=("tiny", "small", "default", "large"), default="small"

@@ -24,6 +24,7 @@ from repro.pipeline.runtime import current_context, use_context
 from repro.profiling.conflict_profile import ConflictProfile, profile_trace
 from repro.search.families import FunctionFamily, family_for_name
 from repro.search.hill_climb import SearchResult, hill_climb_front, hill_climb_restarts
+from repro.search.strategies import SearchStrategy, strategy_for_name
 from repro.trace.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -78,6 +79,7 @@ def optimize_for_trace(
     max_steps: int | None = None,
     profile: ConflictProfile | None = None,
     context: "PipelineContext | None" = None,
+    strategy: "str | SearchStrategy" = "steepest",
 ) -> OptimizationResult:
     """Construct and verify an application-specific index function.
 
@@ -107,6 +109,14 @@ def optimize_for_trace(
         exact simulations and the whole result (defaults to the ambient
         :func:`repro.pipeline.runtime.current_context`).  A cached
         result is bit-identical to recomputing it.
+    strategy:
+        Search strategy — a spec string (``"steepest"``,
+        ``"first-improvement"``, ``"beam:4"``, ``"anneal"``) or any
+        :class:`~repro.search.strategies.SearchStrategy` instance.  The
+        default is the paper's steepest descent
+        (:func:`repro.search.hill_climb`); see
+        :mod:`repro.search.strategies` for when the alternatives pay
+        off.
     """
     m = geometry.index_bits
     if m > n:
@@ -119,34 +129,37 @@ def optimize_for_trace(
             f"expected (n={n}, m={m})"
         )
 
+    strategy = strategy_for_name(strategy)
     ctx = context if context is not None else current_context()
     if profile is None:
         profile = ctx.profile(trace, geometry, n) if ctx is not None else (
             profile_trace(trace, geometry, n)
         )
     if ctx is not None:
-        # The single-start search is deterministic: the seed only
-        # matters with restarts, so normalize it out of the record key
-        # and let every seed share the artifact.
-        key_seed = seed if restarts > 0 else 0
+        # A deterministic single-start search does not depend on the
+        # seed, so normalize it out of the record key and let every
+        # seed share the artifact.  Non-deterministic strategies
+        # (annealing) seed their own walk, so the seed stays in.
+        key_seed = seed if (restarts > 0 or not strategy.deterministic) else 0
         cached = ctx.load_optimization(
             trace, geometry, family.name, n, guard, restarts, key_seed,
-            max_steps, profile,
+            max_steps, profile, strategy=strategy.name,
         )
         if cached is not None:
             return cached
         with use_context(ctx):
             result = _optimize(
                 trace, geometry, family, n, guard, restarts, seed, max_steps,
-                profile,
+                profile, strategy,
             )
         ctx.store_optimization(
             trace, geometry, family.name, n, guard, restarts, key_seed,
-            max_steps, result,
+            max_steps, result, strategy=strategy.name,
         )
         return result
     return _optimize(
-        trace, geometry, family, n, guard, restarts, seed, max_steps, profile
+        trace, geometry, family, n, guard, restarts, seed, max_steps, profile,
+        strategy,
     )
 
 
@@ -160,6 +173,7 @@ def _optimize(
     seed: int,
     max_steps: int | None,
     profile: ConflictProfile,
+    strategy: "SearchStrategy",
 ) -> OptimizationResult:
     """The profile -> hill climb -> exact verification flow itself."""
     baseline = baseline_stats(trace, geometry)
@@ -168,7 +182,8 @@ def _optimize(
         # one batched engine replay and keep the *simulated* winner
         # (the Eq. 4 estimate only ranks candidates approximately).
         front = hill_climb_front(
-            profile, family, restarts=restarts, seed=seed, max_steps=max_steps
+            profile, family, restarts=restarts, seed=seed, max_steps=max_steps,
+            strategy=strategy,
         )
         front_stats = evaluate_hash_functions(
             trace, geometry, [result.function for result in front]
@@ -177,10 +192,13 @@ def _optimize(
             zip(front, front_stats),
             key=lambda pair: (pair[1].misses, pair[0].estimated_misses),
         )
-        search.start_misses = front[0].start_misses  # report vs conventional
+        # Report vs the conventional start without touching the front
+        # member (results are frozen and may alias cached artifacts).
+        search = search.with_start(front[0].start_misses)
     else:
         search = hill_climb_restarts(
-            profile, family, restarts=restarts, seed=seed, max_steps=max_steps
+            profile, family, restarts=restarts, seed=seed, max_steps=max_steps,
+            strategy=strategy,
         )
         optimized = evaluate_hash_function(trace, geometry, search.function)
 

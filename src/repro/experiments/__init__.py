@@ -6,6 +6,7 @@ from repro.experiments.ablations import (
     optimality_gap,
     restarts_ablation,
     search_timing,
+    strategy_comparison,
 )
 from repro.experiments.counting import format_counting, run_counting
 from repro.experiments.figure2 import format_figure2, run_figure2
@@ -54,6 +55,7 @@ __all__ = [
     "estimator_fidelity",
     "capacity_filter_ablation",
     "restarts_ablation",
+    "strategy_comparison",
     "search_timing",
     "optimality_gap",
     "run_skewed_comparison",

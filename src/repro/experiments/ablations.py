@@ -9,6 +9,9 @@ measure them:
 * **capacity filter** — what happens when capacity misses are *not*
   filtered out of the profile (the optimizer chases unfixable misses);
 * **restarts** — how much the single-start local optimum costs;
+* **search strategies** — what the alternatives to the paper's
+  steepest descent (first-improvement, beam, annealing) buy on real
+  profiles (see :mod:`repro.search.strategies`);
 * **search timing** — the paper claims 0.5-10 s per construction.
 """
 
@@ -27,6 +30,7 @@ from repro.profiling.conflict_profile import profile_blocks, profile_trace
 from repro.profiling.estimator import MissEstimator
 from repro.search.families import PermutationFamily, family_for_name
 from repro.search.hill_climb import hill_climb, hill_climb_restarts
+from repro.search.strategies import strategy_for_name
 from repro.trace.trace import Trace
 
 __all__ = [
@@ -36,6 +40,8 @@ __all__ = [
     "capacity_filter_ablation",
     "RestartsAblation",
     "restarts_ablation",
+    "StrategyOutcome",
+    "strategy_comparison",
     "SearchTiming",
     "search_timing",
     "OptimalityGap",
@@ -168,18 +174,73 @@ def restarts_ablation(
     restarts: int = 8,
     n: int = PAPER_HASHED_BITS,
     seed: int = 0,
+    strategy="steepest",
 ) -> RestartsAblation:
-    """Single-start hill climbing vs multi-start (our extension)."""
+    """Single-start hill climbing vs multi-start (our extension).
+
+    The multi-start front advances in lockstep (one shared estimator
+    gather per round); ``strategy`` swaps the per-start algorithm.
+    """
     m = geometry.index_bits
     fam = family_for_name(family, n, m)
     profile = profile_trace(trace, geometry, n)
-    single = hill_climb(profile, fam)
-    multi = hill_climb_restarts(profile, fam, restarts=restarts, seed=seed)
+    single = hill_climb(profile, fam, strategy=strategy)
+    multi = hill_climb_restarts(
+        profile, fam, restarts=restarts, seed=seed, strategy=strategy
+    )
     return RestartsAblation(
         single_start_estimate=single.estimated_misses,
         restarts_estimate=multi.estimated_misses,
         restarts=restarts,
     )
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """One strategy's search quality and cost on a fixed profile."""
+
+    strategy: str
+    estimated_misses: int
+    exact_misses: int
+    steps: int
+    evaluations: int
+    seconds: float
+
+
+def strategy_comparison(
+    trace: Trace,
+    geometry: CacheGeometry,
+    family: str = "2-in",
+    strategies: tuple = ("steepest", "first-improvement", "beam:4", "anneal"),
+    n: int = PAPER_HASHED_BITS,
+) -> list[StrategyOutcome]:
+    """Run every strategy on one profile; report estimate and exact misses.
+
+    The paper evaluates steepest descent only; this driver measures
+    what the strategy zoo changes — both in search quality (estimated
+    and exactly simulated misses of the constructed function) and in
+    search cost (steps, estimator evaluations, wall clock).
+    """
+    m = geometry.index_bits
+    fam = family_for_name(family, n, m)
+    profile = profile_trace(trace, geometry, n)
+    estimator = MissEstimator(profile)
+    outcomes = []
+    for spec in strategies:
+        strategy = strategy_for_name(spec)
+        result = hill_climb(profile, fam, estimator=estimator, strategy=strategy)
+        exact = evaluate_hash_function(trace, geometry, result.function)
+        outcomes.append(
+            StrategyOutcome(
+                strategy=strategy.name,
+                estimated_misses=result.estimated_misses,
+                exact_misses=exact.misses,
+                steps=result.steps,
+                evaluations=result.evaluations,
+                seconds=result.seconds,
+            )
+        )
+    return outcomes
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,12 @@ design-space counting formulas and the central
 :class:`~repro.gf2.hashfn.XorHashFunction` class.
 """
 
+from repro.gf2.batched import (
+    ColumnReplacementScreen,
+    high_bit_index,
+    reduce_by_basis,
+    rref_basis,
+)
 from repro.gf2.bitvec import (
     bits_of,
     dot,
@@ -34,6 +40,10 @@ from repro.gf2.polynomial import (
 from repro.gf2.spaces import Subspace, all_subspace_bases
 
 __all__ = [
+    "ColumnReplacementScreen",
+    "high_bit_index",
+    "reduce_by_basis",
+    "rref_basis",
     "bits_of",
     "dot",
     "from_bits",

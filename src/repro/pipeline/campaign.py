@@ -58,6 +58,9 @@ class CampaignTask:
     guard: bool = False
     restarts: int = 0
     max_steps: int | None = None
+    #: Search strategy spec (see :mod:`repro.search.strategies`); the
+    #: default stays the paper's steepest descent.
+    strategy: str = "steepest"
 
     @property
     def geometry(self) -> CacheGeometry:
@@ -71,6 +74,11 @@ class CampaignTask:
             f"{self.cache_bytes}/{self.block_size}/{self.family}/{self.n}/"
             f"{self.workload_seed}"
         )
+        # Default-steepest tasks keep their pre-strategy identity so
+        # previously derived seeds (and the artifacts keyed by them)
+        # stay valid; every other strategy gets its own seed space.
+        if self.strategy != "steepest":
+            ident += f"/{self.strategy}"
         digest = hashlib.sha256(ident.encode()).digest()
         return (base_seed + int.from_bytes(digest[:4], "big")) & 0x7FFFFFFF
 
@@ -144,6 +152,7 @@ class CampaignResult:
                     "scale": row.task.scale,
                     "cache_bytes": row.task.cache_bytes,
                     "family": row.task.family,
+                    "strategy": row.task.strategy,
                     "base_misses": row.base_misses,
                     "optimized_misses": row.optimized_misses,
                     "base_misses_per_kuop": row.base_misses_per_kuop,
@@ -168,6 +177,7 @@ def build_grid(
     n: int = PAPER_HASHED_BITS,
     workload_seed: int = 0,
     guard: bool = False,
+    strategy: str = "steepest",
 ) -> list[CampaignTask]:
     """The benchmark x kind x cache-size x family cross product."""
     from repro.workloads.registry import workload_names
@@ -184,6 +194,7 @@ def build_grid(
             n=n,
             workload_seed=workload_seed,
             guard=guard,
+            strategy=strategy,
         )
         for name in names
         for kind in kinds
@@ -287,6 +298,7 @@ def _run_task(
         seed=seed,
         max_steps=task.max_steps,
         context=context,
+        strategy=task.strategy,
     )
     seconds = time.perf_counter() - t0
     return CampaignRow(

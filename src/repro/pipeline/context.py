@@ -225,21 +225,25 @@ class PipelineContext:
         seed: int,
         max_steps: int | None,
         profile_digest: str,
+        strategy: str = "steepest",
     ) -> str:
-        return stable_key(
-            "optimization",
-            {
-                "trace": trace.digest,
-                "geometry": _geometry_params(geometry),
-                "family": family_name,
-                "n": n,
-                "guard": guard,
-                "restarts": restarts,
-                "seed": seed,
-                "max_steps": max_steps,
-                "profile": profile_digest,
-            },
-        )
+        params = {
+            "trace": trace.digest,
+            "geometry": _geometry_params(geometry),
+            "family": family_name,
+            "n": n,
+            "guard": guard,
+            "restarts": restarts,
+            "seed": seed,
+            "max_steps": max_steps,
+            "profile": profile_digest,
+        }
+        # The paper's steepest descent is keyed without a strategy
+        # component so records written before strategies existed stay
+        # valid; every other strategy gets its own key space.
+        if strategy != "steepest":
+            params["strategy"] = strategy
+        return stable_key("optimization", params)
 
     def load_optimization(
         self,
@@ -252,6 +256,7 @@ class PipelineContext:
         seed: int,
         max_steps: int | None,
         profile: ConflictProfile,
+        strategy: str = "steepest",
     ):
         """Cached :class:`~repro.core.optimizer.OptimizationResult`.
 
@@ -265,7 +270,7 @@ class PipelineContext:
 
         key = self._optimization_key(
             trace, geometry, family_name, n, guard, restarts, seed, max_steps,
-            profile.digest,
+            profile.digest, strategy,
         )
         payload = self.cache.load_json("optimization", key)
         if payload is None:
@@ -290,6 +295,7 @@ class PipelineContext:
                 seconds=float(search["seconds"]),
                 history=[int(h) for h in search["history"]],
                 family_name=search["family_name"],
+                strategy_name=search.get("strategy_name", "steepest"),
             ),
             profile=profile,
             reverted=bool(payload["reverted"]),
@@ -306,12 +312,13 @@ class PipelineContext:
         seed: int,
         max_steps: int | None,
         result,
+        strategy: str = "steepest",
     ) -> None:
         if self.cache is None:
             return
         key = self._optimization_key(
             trace, geometry, family_name, n, guard, restarts, seed, max_steps,
-            result.profile.digest,
+            result.profile.digest, strategy,
         )
         search = result.search
         self.cache.store_json(
@@ -332,6 +339,7 @@ class PipelineContext:
                     "seconds": search.seconds,
                     "history": list(search.history),
                     "family_name": search.family_name,
+                    "strategy_name": search.strategy_name,
                 },
                 "reverted": result.reverted,
             },

@@ -139,7 +139,12 @@ class MissEstimator:
       (:meth:`costs_with_column_replaced`) — the support is first
       reduced to vectors annihilated by the *fixed* columns, then each
       candidate touches only that residue via one 2-D parity gather,
-      ``O(candidates x residue)`` overall.
+      ``O(candidates x residue)`` overall;
+    * the costs of a whole search neighbourhood — every column times
+      every candidate mask, optionally for a whole front of current
+      functions at once (:meth:`costs_for_moves` /
+      :meth:`costs_for_moves_front`) — in one shared 2-D parity
+      gather.
 
     Works for any window width: windows beyond the 16-bit parity table
     evaluate through :func:`repro.gf2.bitvec.parity_array`.
@@ -157,6 +162,10 @@ class MissEstimator:
         self._weights = weights.astype(np.int64)
         self._table = parity_table() if profile.n <= _PARITY_TABLE_BITS else None
         self.evaluations = 0
+        # Parity rows over the support keyed by column mask (~64 MB cap;
+        # a search only ever touches a few hundred distinct masks).
+        self._parity_rows: dict[int, np.ndarray] = {}
+        self._parity_row_limit = max(64, (64 << 20) // max(len(vectors), 1))
 
     @property
     def support_size(self) -> int:
@@ -200,6 +209,116 @@ class MissEstimator:
                 out[lo : lo + rows] = total - odd.astype(np.int64) @ weights
         self.evaluations += len(candidates)
         return out
+
+    def costs_for_moves(
+        self,
+        columns: tuple[int, ...],
+        candidates: np.ndarray,
+        move_columns: np.ndarray,
+    ) -> np.ndarray:
+        """Score an entire search neighbourhood in one pass.
+
+        ``candidates[i]`` replaces column ``move_columns[i]`` of
+        ``columns``; the return value is an ``int64`` array of Eq. 4
+        costs aligned with ``candidates``.  Exactly equals calling
+        :meth:`costs_with_column_replaced` per column (property-tested)
+        but runs ``m`` parity passes over the support instead of
+        ``m * (m - 1)`` and one shared 2-D candidate gather instead of
+        ``m`` separate ones — the kernel behind the batched hill
+        climber in :mod:`repro.search`.
+        """
+        candidates = np.asarray(candidates)
+        return self.costs_for_moves_front(
+            (tuple(columns),),
+            candidates,
+            np.zeros(len(candidates), dtype=np.intp),
+            move_columns,
+        )
+
+    def costs_for_moves_front(
+        self,
+        column_sets,
+        candidates: np.ndarray,
+        owners: np.ndarray,
+        move_columns: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`costs_for_moves` for a lockstep front of functions.
+
+        ``column_sets[k]`` is the current column tuple of front member
+        ``k`` (all members share ``m``); candidate ``i`` replaces
+        column ``move_columns[i]`` of member ``owners[i]``.  One parity
+        matrix over the support (``len(column_sets) x m`` passes) and
+        one shared chunked 2-D candidate gather serve every member —
+        this is what lets ``hill_climb_front`` advance all restarts
+        simultaneously.
+        """
+        column_sets = [tuple(cols) for cols in column_sets]
+        if not column_sets:
+            raise ValueError("costs_for_moves_front needs at least one column set")
+        m = len(column_sets[0])
+        if any(len(cols) != m for cols in column_sets):
+            raise ValueError("all front members must share the same m")
+        vectors = self._vectors
+        candidates = np.asarray(candidates, dtype=vectors.dtype)
+        owners = np.asarray(owners, dtype=np.intp)
+        move_columns = np.asarray(move_columns, dtype=np.intp)
+        if not (len(candidates) == len(owners) == len(move_columns)):
+            raise ValueError("candidates, owners and move_columns must align")
+        out = np.zeros(len(candidates), dtype=np.int64)
+        self.evaluations += len(candidates)
+        if len(candidates) == 0 or len(vectors) == 0:
+            return out
+        # Parity of every support vector under every current column of
+        # every member.  Rows are memoized per column *mask*: a descent
+        # step changes one column and front members share most masks,
+        # so nearly every row is a dict hit instead of a parity pass —
+        # the scalar path recomputes m*(m-1) passes per step instead.
+        parities = np.empty((len(column_sets), m, len(vectors)), dtype=np.uint8)
+        for k, cols in enumerate(column_sets):
+            for c, col in enumerate(cols):
+                parities[k, c] = self._parity_row(col)
+        odd_counts = parities.sum(axis=1, dtype=np.int64)
+        # One residue gather per (member, column) group: vectors
+        # annihilated by every *other* column of that member — the same
+        # residue the per-column path uses, read off the shared parity
+        # matrix instead of recomputed.
+        row_ids = owners * m + move_columns
+        for row_id in np.unique(row_ids):
+            k, c = divmod(int(row_id), m)
+            alive = (odd_counts[k] - parities[k, c]) == 0
+            sub_vectors = vectors[alive]
+            if len(sub_vectors) == 0:
+                continue  # no surviving vectors: every cost stays 0
+            sub_weights = self._weights[alive]
+            total = int(sub_weights.sum())
+            mine = np.nonzero(row_ids == row_id)[0]
+            group = candidates[mine]
+            rows = max(1, self.CHUNK_ELEMENTS // len(sub_vectors))
+            for lo in range(0, len(group), rows):
+                chunk = group[lo : lo + rows]
+                odd = self._parity(chunk[:, None] & sub_vectors[None, :])
+                out[mine[lo : lo + rows]] = (
+                    total - odd.astype(np.int64) @ sub_weights
+                )
+        return out
+
+    def _parity(self, masked: np.ndarray) -> np.ndarray:
+        """Elementwise parity by the table (n <= 16) or the wide kernel."""
+        if self._table is not None:
+            return self._table[masked]
+        return parity_array(masked)
+
+    def _parity_row(self, column: int) -> np.ndarray:
+        """Memoized parity of the whole support under one column mask."""
+        row = self._parity_rows.get(column)
+        if row is None:
+            if len(self._parity_rows) >= self._parity_row_limit:
+                self._parity_rows.clear()
+            row = self._parity(
+                self._vectors & self._vectors.dtype.type(column)
+            )
+            self._parity_rows[column] = row
+        return row
 
     def _costs_with_column_replaced_loop(
         self, columns: tuple[int, ...], column_index: int, candidates: np.ndarray

@@ -18,9 +18,18 @@ from repro.search.hill_climb import (
     hill_climb,
     hill_climb_front,
     hill_climb_restarts,
+    hill_climb_scalar,
 )
 from repro.search.objective import EstimatedMissObjective, ExactSimulationObjective
 from repro.search.optimal_xor import OptimalXorResult, optimal_xor_function
+from repro.search.strategies import (
+    Annealing,
+    BeamSearch,
+    FirstImprovement,
+    SearchStrategy,
+    SteepestDescent,
+    strategy_for_name,
+)
 
 __all__ = [
     "FunctionFamily",
@@ -30,8 +39,15 @@ __all__ = [
     "family_for_name",
     "SearchResult",
     "hill_climb",
+    "hill_climb_scalar",
     "hill_climb_front",
     "hill_climb_restarts",
+    "SearchStrategy",
+    "SteepestDescent",
+    "FirstImprovement",
+    "BeamSearch",
+    "Annealing",
+    "strategy_for_name",
     "ExhaustiveResult",
     "optimal_bit_select",
     "enumerate_bit_select_masks",

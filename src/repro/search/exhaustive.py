@@ -43,16 +43,23 @@ class ExhaustiveResult:
 
 
 def enumerate_bit_select_masks(n: int, m: int) -> np.ndarray:
-    """All ``C(n, m)`` selection masks as a ``uint32`` array."""
+    """All ``C(n, m)`` selection masks as a ``uint64`` array.
+
+    ``uint64`` keeps wide windows exact: a ``uint32`` mask silently
+    truncated selections of bits >= 32 even though the estimator has no
+    width cap (property-tested at n = 40).
+    """
     if not 0 < m <= n:
         raise ValueError(f"need 0 < m <= n, got n={n}, m={m}")
+    if n > 64:
+        raise ValueError(f"selection masks pack into uint64; n={n} > 64")
     masks = []
     for combo in combinations(range(n), m):
         value = 0
         for bit in combo:
             value |= 1 << bit
         masks.append(value)
-    return np.array(masks, dtype=np.uint32)
+    return np.array(masks, dtype=np.uint64)
 
 
 def optimal_bit_select(
@@ -146,13 +153,26 @@ def _best_exact(n: int, masks: np.ndarray, blocks: np.ndarray) -> tuple[int, int
 
 def _best_estimated(masks: np.ndarray, profile: ConflictProfile) -> tuple[int, int]:
     vectors, weights = profile.support()
+    return _best_estimated_support(masks, vectors, weights)
+
+
+def _best_estimated_support(
+    masks: np.ndarray, vectors: np.ndarray, weights: np.ndarray
+) -> tuple[int, int]:
+    """Estimate-mode scoring against raw support arrays.
+
+    Split out of :func:`_best_estimated` so wide windows (n > 32,
+    where a dense profile array is impractical) stay testable; all
+    operands are ``uint64`` so no selection bit truncates.
+    """
     if len(vectors) == 0:
         return int(masks[0]), 0
     # A profiled vector v survives selection mask M iff v & M == 0
     # (the null space of a bit-select function is the span of the
     # unselected coordinates).  Chunked broadcast keeps memory modest.
-    vectors = vectors.astype(np.uint32)
-    weights = weights.astype(np.int64)
+    vectors = np.asarray(vectors).astype(np.uint64)
+    masks = np.asarray(masks).astype(np.uint64)
+    weights = np.asarray(weights).astype(np.int64)
     costs = np.zeros(len(masks), dtype=np.int64)
     chunk = max(1, (1 << 22) // max(len(vectors), 1))
     for lo in range(0, len(masks), chunk):

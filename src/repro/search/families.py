@@ -102,7 +102,7 @@ class GeneralXorFamily(FunctionFamily):
             if cand not in seen and popcount(cand) <= self.fan_in:
                 seen.add(cand)
                 out.append(cand)
-        return np.array(out, dtype=np.uint32)
+        return np.array(out, dtype=np.uint64)
 
     def random_member(self, rng) -> XorHashFunction:
         return XorHashFunction.random(
@@ -158,11 +158,23 @@ class PermutationFamily(FunctionFamily):
                 subsets.append(value)
         return subsets
 
+    def _high_subset_array(self) -> np.ndarray:
+        """Cached ``uint64`` array of :meth:`_high_subsets`.
+
+        The subset list only depends on the (frozen) family parameters,
+        and the search asks for it every column of every step — up to
+        ``2^(n-m)`` entries each time, so memoization matters.
+        """
+        cached = self.__dict__.get("_subset_cache")
+        if cached is None:
+            cached = np.array(self._high_subsets(), dtype=np.uint64)
+            object.__setattr__(self, "_subset_cache", cached)
+        return cached
+
     def column_candidates(self, fn: XorHashFunction, c: int) -> np.ndarray:
         current = fn.columns[c]
-        base = 1 << c
-        out = [base | high for high in self._high_subsets() if (base | high) != current]
-        return np.array(out, dtype=np.uint32)
+        candidates = np.uint64(1 << c) | self._high_subset_array()
+        return candidates[candidates != np.uint64(current)]
 
     def random_member(self, rng) -> XorHashFunction:
         subsets = self._high_subsets()
@@ -193,7 +205,7 @@ class BitSelectFamily(FunctionFamily):
             for r in range(self.n)
             if (1 << r) != current and (1 << r) not in used
         ]
-        return np.array(out, dtype=np.uint32)
+        return np.array(out, dtype=np.uint64)
 
     def random_member(self, rng) -> XorHashFunction:
         bits = list(range(self.n))

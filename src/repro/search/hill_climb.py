@@ -7,15 +7,26 @@ strictly-improving neighbour, and stops at a local optimum.  Candidate
 evaluation uses the Eq. 4 estimate, so no cache simulation happens
 inside the loop.
 
-Null spaces are used for deduplication: canonical keys of visited
-functions are memoized so equivalent matrices are not re-expanded, and
-rank-deficient candidates (fewer effective sets) are rejected.
+Two implementations with identical results:
+
+* :func:`hill_climb` — the batched subsystem: each step scores the
+  whole neighbourhood (all columns x all candidate masks) in one
+  estimator gather and screens rank/dedup with the vectorized GF(2)
+  checks of :mod:`repro.gf2.batched`; the ``strategy`` parameter swaps
+  the paper's steepest descent for any
+  :class:`~repro.search.strategies.SearchStrategy`;
+* :func:`hill_climb_scalar` — the retired per-column loop, kept as the
+  property-tested oracle: with the default strategy both produce the
+  same final function, cost history, step count and evaluation count.
+
+:func:`hill_climb_front` runs the conventional start plus random
+restarts *in lockstep*, so one shared estimator gather serves the
+whole front each round.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -23,37 +34,15 @@ from repro.gf2.hashfn import XorHashFunction
 from repro.profiling.conflict_profile import ConflictProfile
 from repro.profiling.estimator import MissEstimator
 from repro.search.families import FunctionFamily
+from repro.search.result import SearchResult
 
-__all__ = ["SearchResult", "hill_climb", "hill_climb_front", "hill_climb_restarts"]
-
-
-@dataclass
-class SearchResult:
-    """Outcome of a hash-function search."""
-
-    function: XorHashFunction
-    estimated_misses: int
-    start_misses: int
-    steps: int
-    evaluations: int
-    seconds: float
-    history: list[int] = field(default_factory=list)
-    family_name: str = ""
-
-    @property
-    def estimated_removed_fraction(self) -> float:
-        """Estimated % of profiled conflict weight removed vs the start."""
-        if self.start_misses == 0:
-            return 0.0
-        return 100.0 * (self.start_misses - self.estimated_misses) / self.start_misses
-
-    def __repr__(self) -> str:
-        return (
-            f"SearchResult(family={self.family_name!r}, "
-            f"est={self.estimated_misses} from {self.start_misses}, "
-            f"steps={self.steps}, evals={self.evaluations}, "
-            f"{self.seconds:.2f}s)"
-        )
+__all__ = [
+    "SearchResult",
+    "hill_climb",
+    "hill_climb_scalar",
+    "hill_climb_front",
+    "hill_climb_restarts",
+]
 
 
 def hill_climb(
@@ -62,8 +51,9 @@ def hill_climb(
     start: XorHashFunction | None = None,
     max_steps: int | None = None,
     estimator: MissEstimator | None = None,
+    strategy="steepest",
 ) -> SearchResult:
-    """Run one steepest-descent pass.
+    """Run one search pass (batched; steepest descent by default).
 
     Parameters
     ----------
@@ -78,6 +68,35 @@ def hill_climb(
         Safety bound on descent steps (``None`` = run to local optimum).
     estimator:
         Reuse a prepared :class:`MissEstimator` across searches.
+    strategy:
+        A :class:`~repro.search.strategies.SearchStrategy` instance or
+        spec string (``"steepest"``, ``"first-improvement"``,
+        ``"beam:4"``, ``"anneal"``).  The default is the paper's
+        steepest descent, bit-identical to :func:`hill_climb_scalar`.
+    """
+    from repro.search.strategies import strategy_for_name
+
+    strategy = strategy_for_name(strategy)
+    return strategy.search(
+        profile, family, start=start, max_steps=max_steps, estimator=estimator
+    )
+
+
+def hill_climb_scalar(
+    profile: ConflictProfile,
+    family: FunctionFamily,
+    start: XorHashFunction | None = None,
+    max_steps: int | None = None,
+    estimator: MissEstimator | None = None,
+) -> SearchResult:
+    """The retired per-column steepest descent, kept as the oracle.
+
+    Walks the neighbourhood one column at a time through
+    :meth:`MissEstimator.costs_with_column_replaced` and checks each
+    inspected candidate's rank and canonical key through
+    :class:`~repro.gf2.hashfn.XorHashFunction` construction — the
+    behaviour the batched :func:`hill_climb` must reproduce
+    bit-identically (final function, history, steps, evaluations).
     """
     t0 = time.perf_counter()
     if estimator is None:
@@ -147,6 +166,7 @@ def hill_climb_front(
     restarts: int = 0,
     seed: int = 0,
     max_steps: int | None = None,
+    strategy="steepest",
 ) -> list[SearchResult]:
     """All local optima from the conventional start plus random restarts.
 
@@ -155,18 +175,34 @@ def hill_climb_front(
     whole front (instead of only the estimate-best member) lets callers
     exact-verify every candidate in one batched trace replay and pick
     the *simulated* winner — see ``repro.core.optimizer``.
+
+    Point strategies (steepest descent, first-improvement) advance the
+    whole front in lockstep: every round flattens all still-active
+    climbers' neighbourhoods into one shared estimator gather.  Other
+    strategies (beam, annealing) run per start against the same shared
+    estimator.
     """
+    from repro.search.batched import descend_front
+    from repro.search.strategies import strategy_for_name
+
+    strategy = strategy_for_name(strategy)
     estimator = MissEstimator(profile)
-    front = [hill_climb(profile, family, max_steps=max_steps, estimator=estimator)]
     rng = np.random.default_rng(seed)
-    for _ in range(restarts):
-        start = family.random_member(rng)
-        front.append(
-            hill_climb(
-                profile, family, start=start, max_steps=max_steps, estimator=estimator
-            )
+    starts = [family.start()]
+    starts += [family.random_member(rng) for _ in range(restarts)]
+    pick = getattr(strategy, "pick", None)
+    if pick is not None:
+        return descend_front(
+            estimator, family, starts, pick, max_steps,
+            strategy_name=strategy.name,
         )
-    return front
+    return [
+        strategy.search(
+            profile, family, start=start, max_steps=max_steps,
+            estimator=estimator, rng=rng,
+        )
+        for start in starts
+    ]
 
 
 def hill_climb_restarts(
@@ -175,19 +211,23 @@ def hill_climb_restarts(
     restarts: int = 0,
     seed: int = 0,
     max_steps: int | None = None,
+    strategy="steepest",
 ) -> SearchResult:
     """Hill climb from the conventional start plus random restarts.
 
     The paper's algorithm is single-start; restarts are our ablation of
     how much the local optimum costs (see ``experiments.ablations``).
-    The estimate-best result over all starts is returned.
+    The estimate-best result over all starts is returned, re-reported
+    against the conventional start via
+    :meth:`~repro.search.result.SearchResult.with_start` (results are
+    frozen and may be shared with cached artifacts).
     """
     front = hill_climb_front(
-        profile, family, restarts=restarts, seed=seed, max_steps=max_steps
+        profile, family, restarts=restarts, seed=seed, max_steps=max_steps,
+        strategy=strategy,
     )
     best = front[0]
     for result in front[1:]:
         if result.estimated_misses < best.estimated_misses:
-            result.start_misses = best.start_misses  # report vs conventional
-            best = result
+            best = result.with_start(front[0].start_misses)
     return best

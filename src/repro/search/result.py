@@ -1,0 +1,54 @@
+"""The immutable outcome record shared by every search strategy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.gf2.hashfn import XorHashFunction
+
+__all__ = ["SearchResult"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a hash-function search.
+
+    Frozen: results may be shared between a search front, the
+    optimizer's report and cached pipeline artifacts, so re-reporting
+    against a different start goes through :meth:`with_start` instead
+    of mutation.
+    """
+
+    function: XorHashFunction
+    estimated_misses: int
+    start_misses: int
+    steps: int
+    evaluations: int
+    seconds: float
+    history: list[int] = field(default_factory=list)
+    family_name: str = ""
+    strategy_name: str = "steepest"
+
+    @property
+    def estimated_removed_fraction(self) -> float:
+        """Estimated % of profiled conflict weight removed vs the start."""
+        if self.start_misses == 0:
+            return 0.0
+        return 100.0 * (self.start_misses - self.estimated_misses) / self.start_misses
+
+    def with_start(self, start_misses: int) -> "SearchResult":
+        """Copy re-reported against a different start cost.
+
+        Used when the winner of a multi-start front must be quoted
+        against the conventional start (the paper's reference point)
+        rather than its own random one.
+        """
+        return replace(self, start_misses=start_misses)
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchResult(family={self.family_name!r}, "
+            f"est={self.estimated_misses} from {self.start_misses}, "
+            f"steps={self.steps}, evals={self.evaluations}, "
+            f"{self.seconds:.2f}s)"
+        )

@@ -64,6 +64,64 @@ class TestPipeline:
         )
 
 
+class TestStrategies:
+    def test_default_strategy_is_steepest(self, conflict_trace, geometry_1kb):
+        result = optimize_for_trace(conflict_trace, geometry_1kb, family="2-in")
+        assert result.search.strategy_name == "steepest"
+
+    def test_strategy_specs_accepted(self, conflict_trace, geometry_1kb):
+        for spec in ("first-improvement", "beam:2"):
+            result = optimize_for_trace(
+                conflict_trace, geometry_1kb, family="2-in", strategy=spec
+            )
+            assert result.hash_function.is_full_rank
+            assert result.search.strategy_name in ("first-improvement", "beam(2)")
+
+    def test_strategy_instances_accepted(self, conflict_trace, geometry_1kb):
+        from repro.search.strategies import BeamSearch
+
+        result = optimize_for_trace(
+            conflict_trace, geometry_1kb, family="2-in", strategy=BeamSearch(2)
+        )
+        assert result.search.strategy_name == "beam(2)"
+
+    def test_strategy_with_restarts_verifies_front(self, conflict_trace, geometry_1kb):
+        result = optimize_for_trace(
+            conflict_trace, geometry_1kb, family="2-in",
+            strategy="first-improvement", restarts=2, seed=5,
+        )
+        assert result.optimized.misses <= result.baseline.misses
+        # Re-reporting vs the conventional start must not lose the
+        # baseline reference point.
+        assert result.search.start_misses >= result.search.estimated_misses
+
+    def test_cached_records_keyed_by_strategy(self, conflict_trace, geometry_1kb,
+                                              tmp_path):
+        from repro.pipeline.context import PipelineContext
+
+        ctx = PipelineContext(tmp_path / "cache")
+        steepest = optimize_for_trace(
+            conflict_trace, geometry_1kb, family="2-in", context=ctx
+        )
+        beam = optimize_for_trace(
+            conflict_trace, geometry_1kb, family="2-in", strategy="beam:2",
+            context=ctx,
+        )
+        assert beam.search.strategy_name == "beam(2)"
+        # Warm replay returns each strategy's own record.
+        again = optimize_for_trace(
+            conflict_trace, geometry_1kb, family="2-in", strategy="beam:2",
+            context=ctx,
+        )
+        assert again.search.strategy_name == "beam(2)"
+        assert again.hash_function == beam.hash_function
+        steepest_again = optimize_for_trace(
+            conflict_trace, geometry_1kb, family="2-in", context=ctx
+        )
+        assert steepest_again.search.strategy_name == "steepest"
+        assert steepest_again.hash_function == steepest.hash_function
+
+
 class TestSetAssociativeGeometry:
     def test_optimizer_works_on_two_way_cache(self, conflict_trace):
         """The pipeline also serves set-associative caches: the profile
@@ -82,7 +140,8 @@ class TestGuard:
 
         bad_fn = XorHashFunction.from_sigma(16, 8, [15, 14, 13, 12, 11, 10, 9, 8])
 
-        def fake_search(profile, family, restarts=0, seed=0, max_steps=None):
+        def fake_search(profile, family, restarts=0, seed=0, max_steps=None,
+                        strategy="steepest"):
             return SearchResult(
                 function=bad_fn,
                 estimated_misses=0,

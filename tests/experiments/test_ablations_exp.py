@@ -9,6 +9,7 @@ from repro.experiments.ablations import (
     estimator_fidelity,
     restarts_ablation,
     search_timing,
+    strategy_comparison,
 )
 from repro.trace.trace import Trace
 
@@ -57,6 +58,32 @@ class TestRestarts:
         )
         assert result.restarts_estimate <= result.single_start_estimate
         assert result.improvement_percent >= 0
+
+
+class TestStrategyComparison:
+    def test_all_strategies_reported(self, conflict_trace_module):
+        outcomes = strategy_comparison(
+            conflict_trace_module,
+            CacheGeometry.direct_mapped(1024),
+            strategies=("steepest", "first-improvement", "beam:2", "anneal:600"),
+        )
+        assert [o.strategy for o in outcomes] == [
+            "steepest",
+            "first-improvement",
+            "beam(2)",
+            "anneal(iters=600,cooling=0.995,seed=0)",
+        ]
+        for outcome in outcomes:
+            assert outcome.estimated_misses >= 0
+            assert outcome.exact_misses >= 0
+            assert outcome.evaluations > 0
+
+    def test_restarts_ablation_accepts_strategy(self, conflict_trace_module):
+        result = restarts_ablation(
+            conflict_trace_module, CacheGeometry.direct_mapped(1024),
+            restarts=2, strategy="first-improvement",
+        )
+        assert result.restarts_estimate <= result.single_start_estimate
 
 
 class TestSearchTiming:

@@ -51,6 +51,32 @@ class TestGrid:
         assert {t.benchmark for t in tasks} == set(workload_names("powerstone"))
 
 
+class TestStrategies:
+    def test_build_grid_propagates_strategy(self):
+        tasks = build_grid(
+            suite="powerstone", benchmarks=BENCHMARKS, cache_sizes=(1024,),
+            scale="tiny", strategy="beam:2",
+        )
+        assert all(task.strategy == "beam:2" for task in tasks)
+
+    def test_strategy_part_of_seed_identity(self):
+        steepest = CampaignTask(suite="powerstone", benchmark="fir")
+        beam = CampaignTask(
+            suite="powerstone", benchmark="fir", strategy="beam:2"
+        )
+        assert steepest.derive_seed(0) != beam.derive_seed(0)
+
+    def test_campaign_runs_non_default_strategy(self, tmp_path):
+        tasks = build_grid(
+            suite="powerstone", benchmarks=("qurt",), cache_sizes=(1024,),
+            families=("2-in",), scale="tiny", strategy="first-improvement",
+        )
+        result = run_campaign(tasks, cache_dir=tmp_path, workers=1)
+        assert len(result.rows) == 1
+        payload = result.to_json()
+        assert payload["rows"][0]["strategy"] == "first-improvement"
+
+
 class TestSeeds:
     def test_derived_seed_deterministic(self):
         task = CampaignTask(suite="powerstone", benchmark="fir")

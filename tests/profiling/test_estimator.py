@@ -136,6 +136,83 @@ class TestMissEstimator:
             estimator.costs_with_column_replaced(columns, 1, candidates) == expected
         ).all()
 
+    @settings(max_examples=30, deadline=None)
+    @given(profiles(), hash_functions(n=10, m=4), st.data())
+    def test_costs_for_moves_matches_per_column(self, profile, fn, data):
+        """The whole-neighbourhood pass equals the per-column batched
+        evaluation (its oracle) for every (column, candidate) move."""
+        estimator = MissEstimator(profile)
+        masks, move_columns = [], []
+        for c in range(fn.m):
+            count = data.draw(st.integers(min_value=0, max_value=6))
+            for _ in range(count):
+                masks.append(
+                    data.draw(st.integers(min_value=0, max_value=(1 << 10) - 1))
+                )
+                move_columns.append(c)
+        masks = np.array(masks, dtype=np.uint64)
+        move_columns = np.array(move_columns, dtype=np.intp)
+        fused = estimator.costs_for_moves(fn.columns, masks, move_columns)
+        assert fused.dtype == np.int64
+        for c in range(fn.m):
+            mine = move_columns == c
+            if not mine.any():
+                continue
+            per_column = estimator.costs_with_column_replaced(
+                fn.columns, c, masks[mine]
+            )
+            assert (fused[mine] == per_column).all()
+
+    def test_costs_for_moves_front_matches_single(self):
+        """One shared gather over a front equals member-by-member calls."""
+        rng = np.random.default_rng(5)
+        counts = np.zeros(1 << 10, dtype=np.int64)
+        counts[rng.integers(1, 1 << 10, size=60)] = rng.integers(1, 30, size=60)
+        estimator = MissEstimator(ConflictProfile(10, counts))
+        column_sets = [
+            (0b1, 0b10, 0b100, 0b1000),
+            (0b1011, 0b10, 0b1100, 0b1000000000),
+            (0b1, 0b11, 0b111, 0b1111),
+        ]
+        masks = rng.integers(0, 1 << 10, size=90).astype(np.uint64)
+        owners = rng.integers(0, len(column_sets), size=90).astype(np.intp)
+        cols = rng.integers(0, 4, size=90).astype(np.intp)
+        fused = estimator.costs_for_moves_front(column_sets, masks, owners, cols)
+        for k, columns in enumerate(column_sets):
+            mine = owners == k
+            single = estimator.costs_for_moves(columns, masks[mine], cols[mine])
+            assert (fused[mine] == single).all()
+
+    def test_costs_for_moves_chunking(self):
+        rng = np.random.default_rng(9)
+        counts = np.zeros(1 << 10, dtype=np.int64)
+        counts[rng.integers(1, 1 << 10, size=50)] = rng.integers(1, 50, size=50)
+        estimator = MissEstimator(ConflictProfile(10, counts))
+        columns = (0b1, 0b10, 0b1100)
+        masks = rng.integers(0, 1 << 10, size=41).astype(np.uint64)
+        cols = rng.integers(0, 3, size=41).astype(np.intp)
+        expected = estimator.costs_for_moves(columns, masks, cols)
+        estimator.CHUNK_ELEMENTS = 4
+        assert (estimator.costs_for_moves(columns, masks, cols) == expected).all()
+
+    def test_costs_for_moves_validation(self):
+        estimator = MissEstimator(ConflictProfile(4, np.zeros(16, dtype=np.int64)))
+        with pytest.raises(ValueError):
+            estimator.costs_for_moves_front(
+                [], np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.intp),
+                np.zeros(0, dtype=np.intp),
+            )
+        with pytest.raises(ValueError):
+            estimator.costs_for_moves_front(
+                [(1, 2), (1,)], np.zeros(0, dtype=np.uint64),
+                np.zeros(0, dtype=np.intp), np.zeros(0, dtype=np.intp),
+            )
+        with pytest.raises(ValueError):
+            estimator.costs_for_moves(
+                (1, 2), np.array([1, 2], dtype=np.uint64),
+                np.array([0], dtype=np.intp),
+            )
+
     def test_evaluation_counter(self):
         counts = np.zeros(16, dtype=np.int64)
         counts[1] = 1
@@ -143,6 +220,12 @@ class TestMissEstimator:
         estimator.cost((0b1, 0b10))
         estimator.costs_with_column_replaced((0b1, 0b10), 0, np.array([1, 2, 4]))
         assert estimator.evaluations == 4
+        estimator.costs_for_moves(
+            (0b1, 0b10),
+            np.array([1, 2, 4], dtype=np.uint64),
+            np.array([0, 1, 1], dtype=np.intp),
+        )
+        assert estimator.evaluations == 7
 
     def test_empty_profile_costs_zero(self):
         estimator = MissEstimator(ConflictProfile(4, np.zeros(16, dtype=np.int64)))

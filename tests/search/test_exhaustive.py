@@ -118,3 +118,79 @@ class TestEstimateMode:
         exhaustive = optimal_bit_select(n, m, profile=profile, mode="estimate")
         heuristic = hill_climb(profile, BitSelectFamily(n, m))
         assert exhaustive.misses <= heuristic.estimated_misses
+
+
+class TestWideWindows:
+    """n > 32: selection masks and support vectors must stay uint64.
+
+    The old uint32 cast silently dropped every selection of bits >= 32
+    even though the estimator itself has no width cap."""
+
+    def test_masks_are_uint64_and_complete_at_n40(self):
+        masks = enumerate_bit_select_masks(40, 2)
+        assert masks.dtype == np.uint64
+        assert len(masks) == math.comb(40, 2)
+        top = (1 << 39) | (1 << 38)
+        assert top in set(int(v) for v in masks)
+        assert all(bin(int(v)).count("1") == 2 for v in masks)
+
+    def test_width_cap_is_64(self):
+        with pytest.raises(ValueError):
+            enumerate_bit_select_masks(65, 2)
+
+    def test_exact_mode_selects_high_bits_at_n40(self):
+        """Blocks differing only in bits 35/37: selecting them is
+        conflict-free, which a 32-bit mask could never express."""
+        pattern = np.array(
+            [0, 1 << 35, 1 << 37, (1 << 35) | (1 << 37)], dtype=np.uint64
+        )
+        blocks = np.tile(pattern, 50)
+        result = optimal_bit_select(40, 2, blocks=blocks, mode="exact")
+        assert result.misses == 4  # compulsory only
+        selected = {c.bit_length() - 1 for c in result.function.columns}
+        assert selected == {35, 37}
+
+    def test_estimate_mode_matches_brute_force_at_n40(self):
+        """Property test of the uint64 support scoring at n = 40."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.search.exhaustive import _best_estimated_support
+
+        n, m = 40, 2
+        masks = enumerate_bit_select_masks(n, m)
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=1, max_value=(1 << n) - 1),
+                    st.integers(min_value=1, max_value=100),
+                ),
+                min_size=1,
+                max_size=15,
+            )
+        )
+        def check(entries):
+            vectors = np.array([v for v, _ in entries], dtype=np.uint64)
+            weights = np.array([w for _, w in entries], dtype=np.int64)
+            best_mask, best_cost = _best_estimated_support(masks, vectors, weights)
+            brute = min(
+                sum(w for v, w in entries if (v & int(mask_value)) == 0)
+                for mask_value in masks
+            )
+            assert best_cost == brute
+            assert sum(
+                w for v, w in entries if (v & best_mask) == 0
+            ) == best_cost
+
+        check()
+
+    def test_exact_kernel_wide_blocks(self):
+        """The sort kernel already ran on uint64; pin it at n = 40."""
+        blocks = np.tile(
+            np.array([1 << 39, (1 << 39) | (1 << 20)], dtype=np.uint64), 30
+        )
+        assert misses_bit_select_exact(blocks, 1 << 20) == 2
+        assert misses_bit_select_exact(blocks, 1 << 21) == 60
+

@@ -2,15 +2,23 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.gf2.hashfn import XorHashFunction
 from repro.profiling.conflict_profile import ConflictProfile, profile_blocks
+from repro.profiling.estimator import MissEstimator
 from repro.search.families import (
     BitSelectFamily,
     GeneralXorFamily,
     PermutationFamily,
 )
-from repro.search.hill_climb import hill_climb, hill_climb_restarts
+from repro.search.hill_climb import (
+    hill_climb,
+    hill_climb_front,
+    hill_climb_restarts,
+    hill_climb_scalar,
+)
 
 
 def _profile_with(n, entries):
@@ -103,6 +111,173 @@ class TestEstimatedRemoval:
         assert result.start_misses == 100
         assert result.estimated_misses == 0
         assert result.estimated_removed_fraction == 100.0
+
+
+def _assert_identical(batched, scalar):
+    """The tentpole's bit-identity contract for the default strategy."""
+    assert batched.function == scalar.function
+    assert batched.history == scalar.history
+    assert batched.steps == scalar.steps
+    assert batched.evaluations == scalar.evaluations
+    assert batched.estimated_misses == scalar.estimated_misses
+    assert batched.start_misses == scalar.start_misses
+
+
+_ALL_FAMILIES = [
+    PermutationFamily(10, 5, 2),
+    PermutationFamily(10, 5, None),
+    BitSelectFamily(10, 5),
+    GeneralXorFamily(10, 5, 2),
+    GeneralXorFamily(10, 5, None),
+]
+
+
+@st.composite
+def sparse_profiles(draw, n=10):
+    counts = np.zeros(1 << n, dtype=np.int64)
+    entries = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=(1 << n) - 1),
+                st.integers(min_value=1, max_value=200),
+            ),
+            max_size=25,
+        )
+    )
+    for vector, weight in entries:
+        counts[vector] += weight
+    return ConflictProfile(n, counts)
+
+
+class TestBatchedMatchesScalar:
+    """The batched kernel must replay the retired per-column loop
+    bit-identically: same final function, history, steps, evaluations."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(sparse_profiles(), st.integers(min_value=0, max_value=4))
+    def test_random_profiles_all_families(self, profile, family_index):
+        family = _ALL_FAMILIES[family_index]
+        _assert_identical(
+            hill_climb(profile, family), hill_climb_scalar(profile, family)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(sparse_profiles(), st.integers(min_value=0, max_value=4))
+    def test_random_starts(self, profile, seed):
+        family = PermutationFamily(10, 5, 2)
+        start = family.random_member(np.random.default_rng(seed))
+        _assert_identical(
+            hill_climb(profile, family, start=start),
+            hill_climb_scalar(profile, family, start=start),
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(sparse_profiles(), st.integers(min_value=0, max_value=3))
+    def test_max_steps(self, profile, max_steps):
+        family = PermutationFamily(10, 5, None)
+        _assert_identical(
+            hill_climb(profile, family, max_steps=max_steps),
+            hill_climb_scalar(profile, family, max_steps=max_steps),
+        )
+
+    def test_real_workload_profile(self):
+        rng = np.random.default_rng(0)
+        blocks = np.concatenate([
+            np.tile(
+                np.stack(
+                    [k * 256 + np.arange(16, dtype=np.uint64) for k in range(4)],
+                    axis=1,
+                ).reshape(-1),
+                10,
+            ),
+            rng.integers(0, 1 << 12, size=3000).astype(np.uint64),
+        ])
+        profile = profile_blocks(blocks, 64, 12)
+        for family in (
+            PermutationFamily(12, 6, 2),
+            PermutationFamily(12, 6, None),
+            BitSelectFamily(12, 6),
+            GeneralXorFamily(12, 6, 2),
+            GeneralXorFamily(12, 6, None),
+        ):
+            _assert_identical(
+                hill_climb(profile, family), hill_climb_scalar(profile, family)
+            )
+
+    def test_scalar_rejects_bad_starts_identically(self):
+        family = BitSelectFamily(10, 5)
+        bad = XorHashFunction.from_sigma(10, 5, [7] * 5)
+        profile = _profile_with(10, [])
+        for search in (hill_climb, hill_climb_scalar):
+            with pytest.raises(ValueError):
+                search(profile, family, start=bad)
+
+
+class TestLockstepFront:
+    def test_front_equals_sequential_scalar_climbs(self):
+        """One shared gather per round must not change any climber."""
+        rng = np.random.default_rng(1)
+        blocks = rng.integers(0, 1 << 12, size=4000).astype(np.uint64)
+        profile = profile_blocks(blocks, 64, 12)
+        family = PermutationFamily(12, 6, 2)
+        front = hill_climb_front(profile, family, restarts=5, seed=9)
+        estimator = MissEstimator(profile)
+        start_rng = np.random.default_rng(9)
+        expected = [hill_climb_scalar(profile, family, estimator=estimator)]
+        for _ in range(5):
+            expected.append(
+                hill_climb_scalar(
+                    profile, family,
+                    start=family.random_member(start_rng),
+                    estimator=estimator,
+                )
+            )
+        assert len(front) == 6
+        for batched, scalar in zip(front, expected):
+            _assert_identical(batched, scalar)
+
+    def test_front_first_entry_is_conventional_start(self):
+        profile = _profile_with(10, [(0b1000001, 10)])
+        front = hill_climb_front(profile, PermutationFamily(10, 5, 2), restarts=2)
+        assert front[0].history[0] == front[0].start_misses
+
+    def test_front_max_steps_applies_per_climber(self):
+        rng = np.random.default_rng(2)
+        blocks = rng.integers(0, 1 << 12, size=3000).astype(np.uint64)
+        profile = profile_blocks(blocks, 64, 12)
+        front = hill_climb_front(
+            profile, PermutationFamily(12, 6, 2), restarts=3, seed=4, max_steps=1
+        )
+        assert all(result.steps <= 1 for result in front)
+
+
+class TestFrozenResult:
+    def test_with_start_does_not_mutate(self):
+        profile = _profile_with(10, [(0b1000001, 10)])
+        result = hill_climb(profile, PermutationFamily(10, 5, 2))
+        before = result.start_misses
+        replaced = result.with_start(before + 1)
+        assert replaced.start_misses == before + 1
+        assert replaced.function == result.function
+        assert result.start_misses == before
+
+    def test_result_is_frozen(self):
+        profile = _profile_with(10, [])
+        result = hill_climb(profile, PermutationFamily(10, 5, 2))
+        with pytest.raises(AttributeError):
+            result.start_misses = 7
+
+    def test_restarts_do_not_mutate_front_members(self):
+        rng = np.random.default_rng(3)
+        blocks = rng.integers(0, 1 << 12, size=3000).astype(np.uint64)
+        profile = profile_blocks(blocks, 64, 12)
+        family = PermutationFamily(12, 6, 2)
+        front = hill_climb_front(profile, family, restarts=4, seed=1)
+        start_costs = [result.start_misses for result in front]
+        best = hill_climb_restarts(profile, family, restarts=4, seed=1)
+        assert [result.start_misses for result in front] == start_costs
+        assert best.start_misses == front[0].start_misses
+        assert best.estimated_misses == min(r.estimated_misses for r in front)
 
 
 class TestRestarts:

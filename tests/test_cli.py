@@ -17,6 +17,15 @@ class TestParser:
         assert args.family == "2-in" and args.cache_kb == 4
         assert args.kind == "data" and not args.guard
 
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search", "mibench", "fft"])
+        assert args.strategy == "steepest" and args.restarts == 0
+        assert args.max_steps is None and args.family == "2-in"
+
+    def test_campaign_strategy_default(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.strategy == "steepest"
+
 
 class TestCommands:
     def test_workloads_lists_suites(self, capsys):
@@ -38,6 +47,51 @@ class TestCommands:
             ["optimize", "mibench", "dijkstra", "--scale", "tiny", "--guard"]
         )
         assert code == 0
+
+    def test_search_runs(self, capsys):
+        code = main(
+            ["search", "powerstone", "qurt", "--scale", "tiny",
+             "--cache-kb", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy steepest" in out and "conventional" in out
+        assert "s0 =" in out
+
+    def test_search_strategy_and_restarts(self, capsys):
+        code = main(
+            ["search", "powerstone", "qurt", "--scale", "tiny",
+             "--cache-kb", "1", "--strategy", "beam:2", "--restarts", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy beam(2)" in out
+        assert "restart 2" in out and "<- best" in out
+
+    def test_search_unknown_strategy_fails_fast(self, capsys):
+        code = main(["search", "powerstone", "qurt", "--scale", "tiny",
+                     "--strategy", "psychic"])
+        assert code == 2
+        assert "psychic" in capsys.readouterr().err
+
+    def test_campaign_unknown_strategy_fails_fast(self, capsys, tmp_path):
+        code = main([
+            "campaign", "--suite", "powerstone", "--benchmarks", "qurt",
+            "--scale", "tiny", "--strategy", "psychic",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 2
+        assert "psychic" in capsys.readouterr().err
+
+    def test_campaign_with_strategy_flag(self, capsys, tmp_path):
+        code = main([
+            "campaign", "--suite", "powerstone", "--benchmarks", "qurt",
+            "--cache-kb", "1", "--families", "2-in", "--scale", "tiny",
+            "--workers", "1", "--strategy", "first-improvement",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        assert "Campaign results" in capsys.readouterr().out
 
     def test_classify_runs(self, capsys):
         code = main(["classify", "powerstone", "fir", "--scale", "tiny"])
