@@ -1,19 +1,21 @@
 #!/usr/bin/env python3
-"""Cached multi-geometry sweep through the pipeline layer.
+"""Cached multi-geometry sweep through the Session facade.
 
-Shows the production workflow `repro.pipeline` enables: sweep a set of
+Shows the production workflow the spec API enables: sweep a set of
 benchmarks across every paper cache size and several function
 families, with
 
-1. every artifact (conflict profile, baseline, exact verification,
+1. the whole grid described as one dictionary — ``Session.sweep``
+   expands it into the :class:`~repro.ExperimentSpec` cross-product
+   and fans it out through the campaign runner;
+2. every artifact (conflict profile, baseline, exact verification,
    search outcome) stored content-addressed on disk the first time it
-   is computed;
-2. a second sweep — here re-run in-process, but equally a tomorrow-
-   morning re-run or another experiment sharing a geometry — replaying
-   entirely from the cache, bit-identical and orders of magnitude
-   faster;
-3. the same artifacts transparently accelerating a *different* driver
-   (a per-benchmark optimize loop) because the session is ambient.
+   is computed, so a second sweep — here re-run in-process, but
+   equally a tomorrow-morning re-run — replays entirely from the
+   cache, bit-identical and orders of magnitude faster;
+3. the campaign report carrying one replayable spec per row: feeding
+   those specs back through ``Session.optimize`` touches no simulator
+   at all, and per-benchmark winners fall out of the cached rows.
 
 Run:  python examples/cached_sweep.py
 """
@@ -21,37 +23,31 @@ Run:  python examples/cached_sweep.py
 import tempfile
 import time
 
-from repro import CacheGeometry, PipelineContext, build_grid, optimize_for_trace, run_campaign
+from repro import ExperimentSpec, Session
+from repro.api import specs_from_report
 from repro.pipeline import format_campaign
-from repro.workloads import get_trace
 
-BENCHMARKS = ("fft", "dijkstra", "susan")
-FAMILIES = ("2-in", "4-in")
-SCALE = "tiny"
-
-
-def sweep(cache_dir: str):
-    """One benchmark x cache-size x family campaign over the cache."""
-    tasks = build_grid(
-        suite="mibench",
-        benchmarks=BENCHMARKS,
-        cache_sizes=(1024, 4096, 16384),
-        families=FAMILIES,
-        scale=SCALE,
-    )
-    return run_campaign(tasks, cache_dir=cache_dir, workers=1)
+GRID = {
+    "suite": "mibench",
+    "benchmarks": ("fft", "dijkstra", "susan"),
+    "cache_bytes": (1024, 4096, 16384),
+    "families": ("2-in", "4-in"),
+    "scale": "tiny",
+}
 
 
 def main() -> None:
     with tempfile.TemporaryDirectory(prefix="repro-sweep-") as cache_dir:
+        session = Session(cache_dir=cache_dir, workers=1)
+
         t0 = time.perf_counter()
-        cold = sweep(cache_dir)
+        cold = session.sweep(GRID)
         cold_s = time.perf_counter() - t0
         print(format_campaign(cold))
         print()
 
         t0 = time.perf_counter()
-        warm = sweep(cache_dir)
+        warm = session.sweep(GRID)
         warm_s = time.perf_counter() - t0
         assert warm.fully_cached
         assert [r.removed_percent for r in warm.rows] == [
@@ -64,25 +60,30 @@ def main() -> None:
         )
         print()
 
-        # The same artifacts serve any driver running under a session:
-        # this loop finds per-benchmark winners at 4 KB without a single
-        # new profile or simulation.
-        session = PipelineContext(cache_dir)
-        with session.activate():
-            geometry = CacheGeometry.direct_mapped(4096)
-            for name in BENCHMARKS:
-                trace = get_trace("mibench", name, scale=SCALE)
-                best = min(
-                    (
-                        optimize_for_trace(trace, geometry, family=family)
-                        for family in FAMILIES
-                    ),
-                    key=lambda result: result.optimized.misses,
-                )
-                print(f"  {name:10s} best @4KB: {best.summary()}")
+        # The campaign report is a replayable input: every row echoes
+        # its spec.  Re-running them individually is served entirely
+        # from the artifacts the sweep stored.
+        report = warm.to_json()
+        specs = specs_from_report(report)
+        at_4kb = [s for s in specs if s.geometry.cache_bytes == 4096]
+        best: dict[str, object] = {}
+        for spec in at_4kb:
+            result = session.optimize(spec)
+            name = spec.trace.benchmark
+            if (
+                name not in best
+                or result.optimized.misses < best[name].optimized.misses
+            ):
+                best[name] = result
+        for name, result in best.items():
+            assert ExperimentSpec.from_dict(result.to_json()["spec"]).digest in {
+                s.digest for s in at_4kb
+            }
+            print(f"  {name:10s} best @4KB: {result.summary()}")
         totals = session.cache_stats()
         computed = sum(c.get("misses", 0) for c in totals.values())
-        print(f"session recomputed {computed} artifacts (all served from cache)")
+        print(f"replaying {len(at_4kb)} specs recomputed {computed} artifacts "
+              "(all served from cache)")
 
 
 if __name__ == "__main__":

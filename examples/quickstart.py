@@ -1,35 +1,45 @@
 #!/usr/bin/env python3
 """Quickstart: remove conflict misses from one application's cache.
 
-This is the paper's headline flow end to end:
+This is the paper's headline flow end to end, written as one
+declarative experiment spec:
 
-1. get an application's memory-access trace (here: the MiBench FFT);
-2. profile it once with the Fig. 1 algorithm;
-3. hill-climb a 2-input permutation-based XOR-function (Sec. 3.2);
-4. verify the winner by exact cache simulation;
-5. program the cheap reconfigurable selector network of Sec. 5.
+1. describe the experiment — which trace (the MiBench FFT), which
+   cache (4 KB direct mapped), which function family (2-input
+   permutation-based, Sec. 4) — as an :class:`repro.ExperimentSpec`;
+2. hand it to a :class:`repro.Session`, which profiles the trace once
+   (Fig. 1), hill-climbs the family on the Eq. 4 estimate (Sec. 3.2)
+   and verifies the winner by exact cache simulation;
+3. serialize the result through the stable ``repro-report/v1`` schema —
+   the report echoes the spec, so it is itself a replayable input;
+4. program the cheap reconfigurable selector network of Sec. 5.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import CacheGeometry, optimize_for_trace
+from repro import ExperimentSpec, GeometrySpec, Session, TraceSpec
 from repro.hardware import PermutationNetwork, render_network
-from repro.workloads import get_trace
 
 
 def main() -> None:
-    # 1. The application's data-address trace.  At this scale the FFT's
+    # 1. The whole experiment as data.  At this scale the FFT's
     # real/imaginary arrays are 4 KB each and 4 KB-aligned — element i
     # of both arrays lands in the same set of a 4 KB direct-mapped
-    # cache, the classic conflict pattern of Sec. 1.
-    trace = get_trace("mibench", "fft", kind="data", scale="default")
+    # cache, the classic conflict pattern of Sec. 1.  (The spec could
+    # equally be loaded from a file: ExperimentSpec.load("experiment.toml").)
+    spec = ExperimentSpec(
+        trace=TraceSpec("mibench", "fft", kind="data", scale="default"),
+        geometry=GeometrySpec(cache_bytes=4096),
+        # search defaults: family="2-in", the paper's steepest descent.
+    )
+    print(f"experiment: {spec.describe()}")
+
+    # 2. Profile, search and verify.  A Session with a cache_dir would
+    # persist every artifact; in-memory is fine for one run.
+    result = Session().optimize(spec)
+
+    trace = spec.trace.resolve()
     print(f"workload: {trace.name}, {len(trace)} references, {trace.uops} uops")
-
-    # 2-4. Profile, search and verify for a 4 KB direct-mapped cache.
-    geometry = CacheGeometry.direct_mapped(4096)
-    result = optimize_for_trace(trace, geometry, family="2-in")
-
-    print(f"cache:    {geometry}")
     print(f"baseline: {result.baseline.misses} misses "
           f"({result.base_misses_per_kuop(trace.uops):.1f}/K-uop)")
     print(f"hashed:   {result.optimized.misses} misses "
@@ -39,9 +49,18 @@ def main() -> None:
     print(result.hash_function.describe())
     print()
 
-    # 5. Deploy on the permutation-based selector network (Fig. 2b):
+    # 3. The stable report round-trips: the spec inside it rebuilds
+    # bit-identically, so any report can be re-run.
+    report = result.to_json()
+    assert ExperimentSpec.from_dict(report["spec"]) == spec
+    print(f"report:   schema {report['schema']}, "
+          f"spec digest {report['digests']['spec'][:12]}...")
+    print()
+
+    # 4. Deploy on the permutation-based selector network (Fig. 2b):
     # 70 switches for this 16->10 configuration, vs 256 for naive
     # reconfigurable bit selection (Table 1).
+    geometry = spec.geometry.resolve()
     network = PermutationNetwork(16, geometry.index_bits)
     network.configure_from(result.hash_function)
     print(f"hardware: {network.switch_count} switches, "

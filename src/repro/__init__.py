@@ -4,16 +4,26 @@ Manet & Legat, DATE 2006).
 
 Quickstart::
 
+    from repro import ExperimentSpec, Session, TraceSpec
+
+    spec = ExperimentSpec(trace=TraceSpec("mibench", "fft"))
+    result = Session().optimize(spec)
+    print(result.summary())
+    print(result.hash_function.describe())
+
+The imperative surface remains::
+
     from repro import CacheGeometry, optimize_for_trace
     from repro.workloads import get_trace
 
     trace = get_trace("mibench", "fft", kind="data", scale="small")
     result = optimize_for_trace(trace, CacheGeometry.direct_mapped(4096),
                                 family="2-in")
-    print(result.summary())
-    print(result.hash_function.describe())
 
 Packages:
+
+* :mod:`repro.api` — declarative experiment specs, the ``Session``
+  facade, and the stable ``repro-report/v1`` JSON schema;
 
 * :mod:`repro.gf2` — GF(2) linear algebra and XOR hash functions;
 * :mod:`repro.trace` — address traces and synthetic generators;
@@ -28,6 +38,15 @@ Packages:
 * :mod:`repro.experiments` — drivers regenerating every paper table/figure.
 """
 
+from repro.api import (
+    ExecutionSpec,
+    ExperimentSpec,
+    GeometrySpec,
+    SearchSpec,
+    Session,
+    SpecError,
+    TraceSpec,
+)
 from repro.cache.geometry import PAPER_GEOMETRIES, PAPER_HASHED_BITS, CacheGeometry
 from repro.cache.stats import CacheStats
 from repro.core.evaluate import baseline_stats, evaluate_hash_function
@@ -46,6 +65,13 @@ from repro.trace.trace import Trace
 __version__ = "1.0.0"
 
 __all__ = [
+    "SpecError",
+    "TraceSpec",
+    "GeometrySpec",
+    "SearchSpec",
+    "ExecutionSpec",
+    "ExperimentSpec",
+    "Session",
     "CacheGeometry",
     "PAPER_GEOMETRIES",
     "PAPER_HASHED_BITS",

@@ -1,7 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every experiment-shaped command is a thin constructor over the
+declarative spec API (:mod:`repro.api`): it assembles an
+:class:`~repro.api.ExperimentSpec` from its flags, validates it at the
+boundary (any problem is one :class:`~repro.api.SpecError` with an
+actionable message and exit code 2), and hands it to a
+:class:`~repro.api.Session`.  ``--json`` flags emit the stable
+``repro-report/v1`` schema to stdout.
+
 Commands:
 
+* ``run``       — execute a TOML/JSON experiment-spec file;
+* ``spec``      — scaffold an experiment-spec file from flags;
 * ``optimize``  — construct an index function for a bundled workload;
 * ``search``    — run the estimate-only search (any strategy, any
   restart count) without the exact verification replay;
@@ -20,38 +30,80 @@ import json
 import sys
 from pathlib import Path
 
-from repro import CacheGeometry, optimize_for_trace
-from repro.cache.classify import classify_misses
-from repro.pipeline import (
-    PipelineContext,
-    build_grid,
-    default_cache_dir,
-    format_campaign,
-    run_campaign,
+from repro.api import (
+    ExecutionSpec,
+    ExperimentSpec,
+    GeometrySpec,
+    SearchSpec,
+    Session,
+    SpecError,
+    TraceSpec,
+    expand_grid,
 )
+from repro.api.report import search_report
+from repro.cache.classify import classify_misses
+from repro.pipeline import PipelineContext, default_cache_dir, format_campaign
+from repro.search.families import FAMILY_CHOICES
 from repro.workloads import SUITES, get_workload, workload_names
+from repro.workloads.registry import SCALES, TRACE_KINDS
+
+
+def _fail(error: SpecError) -> int:
+    print(f"error: {error}", file=sys.stderr)
+    return 2
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("suite", choices=sorted(SUITES), help="benchmark suite")
     parser.add_argument("name", help="kernel name (see `workloads`)")
     parser.add_argument(
-        "--kind", choices=("data", "instruction"), default="data",
+        "--kind", choices=TRACE_KINDS, default="data",
         help="which address stream to use",
     )
-    parser.add_argument(
-        "--scale", choices=("tiny", "small", "default", "large"), default="small"
-    )
+    parser.add_argument("--scale", choices=SCALES, default="small")
     parser.add_argument("--cache-kb", type=int, default=4, help="cache size in KB")
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+
+
+def _spec_from_args(args: argparse.Namespace, **search_overrides) -> ExperimentSpec:
+    """The spec an ``optimize``/``search`` invocation denotes.
+
+    Raises :class:`SpecError` — the single validation point for every
+    flag combination, before any expensive work starts.
+    """
+    search = dict(
+        family=getattr(args, "family", "2-in"),
+        strategy=getattr(args, "strategy", "steepest"),
+        restarts=getattr(args, "restarts", 0),
+        seed=getattr(args, "search_seed", 0) or 0,
+        guard=getattr(args, "guard", False),
+        max_steps=getattr(args, "max_steps", None),
+    )
+    search.update(search_overrides)
+    return ExperimentSpec(
+        trace=TraceSpec(
+            suite=args.suite, benchmark=args.name, kind=args.kind,
+            scale=args.scale, seed=args.seed,
+        ),
+        geometry=GeometrySpec(cache_bytes=args.cache_kb * 1024),
+        search=SearchSpec(**search),
+        execution=ExecutionSpec(cache_dir=getattr(args, "cache_dir", None)),
+    )
+
+
+def _print_report(payload: dict) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
-    trace = get_workload(args.suite, args.name, args.scale, args.seed).trace(args.kind)
-    geometry = CacheGeometry.direct_mapped(args.cache_kb * 1024)
-    result = optimize_for_trace(
-        trace, geometry, family=args.family, guard=args.guard
-    )
+    try:
+        spec = _spec_from_args(args)
+    except SpecError as error:
+        return _fail(error)
+    result = Session(cache_dir=args.cache_dir).optimize(spec)
+    if args.json:
+        _print_report(result.to_json())
+        return 0
     print(result.summary())
     print(f"search: {result.search.steps} steps, "
           f"{result.search.evaluations} evaluations, "
@@ -61,40 +113,26 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resolve_strategy(spec: str):
-    """Validate a --strategy spec before any expensive work.
-
-    Returns the strategy instance or ``None`` after printing a clean
-    error — a typo must not surface as a traceback from a worker
-    process minutes into a campaign.
-    """
-    from repro.search import strategy_for_name
+def cmd_search(args: argparse.Namespace) -> int:
+    from repro.profiling.conflict_profile import profile_trace
+    from repro.search import hill_climb_front
 
     try:
-        return strategy_for_name(spec)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return None
-
-
-def cmd_search(args: argparse.Namespace) -> int:
-    from repro.cache.geometry import PAPER_HASHED_BITS
-    from repro.profiling.conflict_profile import profile_trace
-    from repro.search import family_for_name, hill_climb_front
-
-    strategy = _resolve_strategy(args.strategy)
-    if strategy is None:
-        return 2
-    trace = get_workload(args.suite, args.name, args.scale, args.seed).trace(args.kind)
-    geometry = CacheGeometry.direct_mapped(args.cache_kb * 1024)
-    family = family_for_name(
-        args.family, PAPER_HASHED_BITS, geometry.index_bits
-    )
-    profile = profile_trace(trace, geometry, PAPER_HASHED_BITS)
+        spec = _spec_from_args(args)
+    except SpecError as error:
+        return _fail(error)
+    trace = spec.trace.resolve()
+    geometry = spec.geometry.resolve()
+    family = spec.search.resolve_family(geometry.index_bits)
+    strategy = spec.search.resolve_strategy()
+    profile = profile_trace(trace, geometry, spec.search.n)
     front = hill_climb_front(
-        profile, family, restarts=args.restarts, seed=args.seed,
-        max_steps=args.max_steps, strategy=strategy,
+        profile, family, restarts=spec.search.restarts, seed=spec.search.seed,
+        max_steps=spec.search.max_steps, strategy=strategy,
     )
+    if args.json:
+        _print_report(search_report(spec, front))
+        return 0
     best = min(front, key=lambda result: result.estimated_misses)
     print(f"{trace.name} @ {geometry}: family {family.name}, "
           f"strategy {strategy.name}")
@@ -110,9 +148,81 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = ExperimentSpec.load(args.spec_file)
+    except SpecError as error:
+        return _fail(error)
+    if args.cache_dir:
+        spec = spec.with_execution(cache_dir=args.cache_dir)
+    if args.dry_run:
+        print(f"spec ok: {spec.describe()}")
+        print(f"digest:  {spec.digest}")
+        return 0
+    session = Session(
+        cache_dir=spec.execution.cache_dir,
+        workers=args.workers if args.workers is not None
+        else spec.execution.workers,
+    )
+    result = session.optimize(spec)
+    if args.json:
+        _print_report(result.to_json())
+    else:
+        print(result.summary())
+        print()
+        print(result.hash_function.describe())
+    if args.expect_cached:
+        totals = session.cache_stats()
+        recomputed = sum(
+            per_kind.get("misses", 0) + per_kind.get("stores", 0)
+            for per_kind in totals.values()
+        )
+        if recomputed or spec.execution.cache_dir is None:
+            print(
+                "FAIL: expected a fully cached replay but artifacts were "
+                f"recomputed ({totals or 'no cache directory'})",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def cmd_spec(args: argparse.Namespace) -> int:
+    try:
+        spec = ExperimentSpec(
+            trace=TraceSpec(
+                suite=args.suite, benchmark=args.benchmark, kind=args.kind,
+                scale=args.scale, seed=args.seed,
+            ),
+            geometry=GeometrySpec(cache_bytes=args.cache_kb * 1024),
+            search=SearchSpec(
+                family=args.family, strategy=args.strategy,
+                restarts=args.restarts, guard=args.guard,
+            ),
+            execution=ExecutionSpec(
+                workers=args.workers, cache_dir=args.cache_dir
+            ),
+        )
+    except SpecError as error:
+        return _fail(error)
+    text = spec.to_toml(
+        header=(
+            "repro experiment spec (schema: see `repro run --help`)\n"
+            f"{spec.describe()}\n"
+            "run with:  repro run <this file> [--json]"
+        )
+    )
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     trace = get_workload(args.suite, args.name, args.scale, args.seed).trace(args.kind)
-    geometry = CacheGeometry.direct_mapped(args.cache_kb * 1024)
+    geometry = GeometrySpec(cache_bytes=args.cache_kb * 1024).resolve()
     blocks = trace.block_addresses(geometry.block_size)
     breakdown = classify_misses(blocks, geometry)
     print(f"{trace.name} ({args.kind}) @ {geometry}")
@@ -129,32 +239,40 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    if _resolve_strategy(args.strategy) is None:
-        return 2
-    tasks = build_grid(
-        suite=args.suite,
-        benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
-        kinds=tuple(args.kinds),
-        cache_sizes=tuple(kb * 1024 for kb in args.cache_kb),
-        families=tuple(args.families),
-        scale=args.scale,
-        workload_seed=args.seed,
-        guard=args.guard,
-        strategy=args.strategy,
-    )
-    if not tasks:
+    try:
+        specs = expand_grid(
+            {
+                "suite": args.suite,
+                "benchmarks": list(args.benchmarks) if args.benchmarks else None,
+                "kinds": list(args.kinds),
+                "cache_bytes": [kb * 1024 for kb in args.cache_kb],
+                "families": list(args.families),
+                "strategies": [args.strategy],
+                "scale": args.scale,
+                "workload_seed": args.seed,
+                "guard": args.guard,
+            }
+        )
+    except SpecError as error:
+        return _fail(error)
+    if not specs:
         print("error: the campaign grid is empty", file=sys.stderr)
         return 2
-    result = run_campaign(
-        tasks,
+    session = Session(
         cache_dir=args.cache_dir if args.cache_dir else default_cache_dir(),
         workers=args.workers,
-        base_seed=args.seed,
     )
-    print(format_campaign(result))
-    if args.json:
-        Path(args.json).write_text(json.dumps(result.to_json(), indent=2) + "\n")
-        print(f"wrote {args.json}")
+    # Grid semantics: every cell derives its own deterministic seed
+    # from its identity and --seed, as before the spec API existed.
+    result = session.campaign(specs, base_seed=args.seed, derive_seeds=True)
+    report = result.to_json()
+    if args.json == "-":
+        _print_report(report)
+    else:
+        print(format_campaign(result))
+        if args.json:
+            Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+            print(f"wrote {args.json}")
     if args.expect_cached and not result.fully_cached:
         totals = result.cache_totals()
         print(
@@ -216,15 +334,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    p_run = sub.add_parser(
+        "run", help="execute a TOML/JSON experiment-spec file"
+    )
+    p_run.add_argument("spec_file", help="path to experiment.toml / .json")
+    p_run.add_argument(
+        "--dry-run", action="store_true",
+        help="validate the spec and print what it would run, then exit",
+    )
+    p_run.add_argument(
+        "--json", action="store_true",
+        help="emit the repro-report/v1 result to stdout",
+    )
+    p_run.add_argument(
+        "--cache-dir", default=None,
+        help="override the spec's execution.cache_dir",
+    )
+    p_run.add_argument(
+        "--workers", type=int, default=None,
+        help="override the spec's execution.workers",
+    )
+    p_run.add_argument(
+        "--expect-cached", action="store_true",
+        help="exit non-zero if any artifact had to be (re)computed",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_spec = sub.add_parser(
+        "spec", help="scaffold an experiment-spec file from flags"
+    )
+    p_spec.add_argument("--suite", choices=sorted(SUITES), default="mibench")
+    p_spec.add_argument("--benchmark", default="fft")
+    p_spec.add_argument("--kind", choices=TRACE_KINDS, default="data")
+    p_spec.add_argument("--scale", choices=SCALES, default="small")
+    p_spec.add_argument("--cache-kb", type=int, default=4)
+    p_spec.add_argument("--seed", type=int, default=0, help="workload seed")
+    p_spec.add_argument("--family", default="2-in", choices=FAMILY_CHOICES)
+    p_spec.add_argument("--strategy", default="steepest")
+    p_spec.add_argument("--restarts", type=int, default=0)
+    p_spec.add_argument("--guard", action="store_true")
+    p_spec.add_argument("--workers", type=int, default=None)
+    p_spec.add_argument("--cache-dir", default=None)
+    p_spec.add_argument(
+        "-o", "--output", default=None,
+        help="write the spec here instead of stdout",
+    )
+    p_spec.set_defaults(func=cmd_spec)
+
     p_opt = sub.add_parser("optimize", help="construct an index function")
     _add_workload_args(p_opt)
-    p_opt.add_argument(
-        "--family", default="2-in",
-        choices=("1-in", "2-in", "4-in", "16-in", "general"),
-    )
+    p_opt.add_argument("--family", default="2-in", choices=FAMILY_CHOICES)
     p_opt.add_argument(
         "--guard", action="store_true",
         help="revert to modulo indexing if the function adds misses (Sec. 6)",
+    )
+    p_opt.add_argument(
+        "--strategy", default="steepest",
+        help="search strategy: steepest (paper), first-improvement, "
+             "beam[:K], anneal[:ITERS[:SEED]]",
+    )
+    p_opt.add_argument("--restarts", type=int, default=0)
+    p_opt.add_argument(
+        "--search-seed", type=int, default=0, help="hill-climb restart seed"
+    )
+    p_opt.add_argument(
+        "--cache-dir", default=None,
+        help="read/write artifacts at this directory",
+    )
+    p_opt.add_argument(
+        "--json", action="store_true",
+        help="emit the repro-report/v1 result to stdout",
     )
     p_opt.set_defaults(func=cmd_optimize)
 
@@ -233,10 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="estimate-only hash search with a pluggable strategy",
     )
     _add_workload_args(p_search)
-    p_search.add_argument(
-        "--family", default="2-in",
-        choices=("1-in", "2-in", "4-in", "16-in", "general"),
-    )
+    p_search.add_argument("--family", default="2-in", choices=FAMILY_CHOICES)
     p_search.add_argument(
         "--strategy", default="steepest",
         help="search strategy: steepest (paper), first-improvement, "
@@ -248,8 +424,15 @@ def build_parser() -> argparse.ArgumentParser:
              "(advanced in lockstep for point strategies)",
     )
     p_search.add_argument(
+        "--search-seed", type=int, default=0, help="hill-climb restart seed"
+    )
+    p_search.add_argument(
         "--max-steps", type=int, default=None,
         help="bound on accepted search steps",
+    )
+    p_search.add_argument(
+        "--json", action="store_true",
+        help="emit the repro-report/v1 search front to stdout",
     )
     p_search.set_defaults(func=cmd_search)
 
@@ -270,24 +453,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel names (default: the whole suite)",
     )
     p_camp.add_argument(
-        "--kinds", nargs="*", choices=("data", "instruction"), default=["data"]
+        "--kinds", nargs="*", choices=TRACE_KINDS, default=["data"]
     )
     p_camp.add_argument(
         "--cache-kb", nargs="*", type=int, default=[1, 4, 16],
         help="cache sizes in KB",
     )
     p_camp.add_argument(
-        "--families", nargs="*", default=["2-in"],
-        choices=("1-in", "2-in", "4-in", "16-in", "general"),
+        "--families", nargs="*", default=["2-in"], choices=FAMILY_CHOICES,
     )
     p_camp.add_argument(
         "--strategy", default="steepest",
         help="search strategy for every task (default: the paper's "
              "steepest descent)",
     )
-    p_camp.add_argument(
-        "--scale", choices=("tiny", "small", "default", "large"), default="small"
-    )
+    p_camp.add_argument("--scale", choices=SCALES, default="small")
     p_camp.add_argument("--seed", type=int, default=0)
     p_camp.add_argument("--guard", action="store_true")
     p_camp.add_argument(
@@ -300,7 +480,9 @@ def build_parser() -> argparse.ArgumentParser:
              "~/.cache/repro-xor-indexing)",
     )
     p_camp.add_argument(
-        "--json", default=None, help="also write results to this JSON file"
+        "--json", nargs="?", const="-", default=None, metavar="FILE",
+        help="emit the repro-report/v1 campaign report: bare --json "
+             "prints to stdout, --json FILE writes the file",
     )
     p_camp.add_argument(
         "--expect-cached", action="store_true",
@@ -331,7 +513,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SpecError as error:
+        return _fail(error)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,33 @@
+"""The one error type raised at the experiment-spec boundary.
+
+Everything that can be wrong with a declarative experiment description
+— an unknown workload, a family string nobody recognises, a geometry
+that is not a power of two, a hashed window narrower than the set index
+— surfaces as a single :class:`SpecError` whose message says what was
+wrong *and what would be right*.  It subclasses :class:`ValueError`, so
+call sites written against the historical mixed ``ValueError`` texts
+keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SpecError"]
+
+
+class SpecError(ValueError):
+    """An experiment spec is invalid or internally inconsistent.
+
+    Parameters
+    ----------
+    message:
+        What is wrong, phrased so the fix is obvious (include the bad
+        value and the admissible ones).
+    field:
+        Dotted path of the offending field inside the spec, e.g.
+        ``"search.family"`` — machine-readable for tooling, prefixed to
+        the message for humans.
+    """
+
+    def __init__(self, message: str, *, field: str | None = None):
+        self.field = field
+        super().__init__(f"{field}: {message}" if field else message)

@@ -1,0 +1,345 @@
+"""The ``Session`` facade: one object that runs any spec.
+
+A :class:`Session` owns the execution environment — artifact cache,
+worker count — and consumes declarative :class:`ExperimentSpec`\\ s:
+
+* :meth:`Session.optimize` runs one spec end to end (profile ->
+  estimate -> search -> exact verification) and returns an
+  :class:`~repro.core.optimizer.OptimizationResult` with the spec
+  attached, so ``result.to_json()`` is a complete replayable report;
+* :meth:`Session.campaign` runs a list of specs through the parallel
+  campaign runner, every task reading and writing the session's
+  artifact cache;
+* :meth:`Session.sweep` expands a grid dictionary into the spec
+  cross-product and runs it as a campaign.
+
+This subsumes the older kwarg surfaces: ``optimize_for_trace`` with its
+eleven keywords, ``build_grid``/``run_campaign``, and the ambient
+``PipelineContext`` contextvar all remain available (the Session is
+built on them), but a spec plus a session expresses the same runs
+declaratively and serializably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.api.errors import SpecError
+from repro.api.spec import (
+    ExecutionSpec,
+    ExperimentSpec,
+    GeometrySpec,
+    SearchSpec,
+    TraceSpec,
+)
+from repro.pipeline.campaign import CampaignResult, CampaignTask, run_campaign
+from repro.pipeline.context import PipelineContext
+
+__all__ = ["Session", "spec_to_task", "task_to_spec", "expand_grid"]
+
+SpecLike = ExperimentSpec | Mapping | str | Path
+
+
+def spec_to_task(spec: ExperimentSpec) -> CampaignTask:
+    """The campaign-grid cell equivalent of a spec.
+
+    The task pins ``search_seed`` to the spec's seed, so running a spec
+    inside a campaign produces (and caches) exactly the artifacts
+    :meth:`Session.optimize` would for the same spec.
+    """
+    return CampaignTask(
+        suite=spec.trace.suite,
+        benchmark=spec.trace.benchmark,
+        kind=spec.trace.kind,
+        scale=spec.trace.scale,
+        cache_bytes=spec.geometry.cache_bytes,
+        block_size=spec.geometry.block_size,
+        associativity=spec.geometry.associativity,
+        family=spec.search.family,
+        n=spec.search.n,
+        workload_seed=spec.trace.seed,
+        guard=spec.search.guard,
+        restarts=spec.search.restarts,
+        max_steps=spec.search.max_steps,
+        strategy=spec.search.strategy,
+        search_seed=spec.search.seed,
+    )
+
+
+def task_to_spec(task: CampaignTask, search_seed: int | None = None) -> ExperimentSpec:
+    """The spec a campaign task denotes.
+
+    ``search_seed`` is the seed the run actually used (tasks without a
+    pinned seed derive one from the campaign's base seed); passing it
+    makes the spec an exact replay of the row it came from.
+    """
+    if search_seed is None:
+        search_seed = task.search_seed if task.search_seed is not None else 0
+    return ExperimentSpec(
+        trace=TraceSpec(
+            suite=task.suite,
+            benchmark=task.benchmark,
+            kind=task.kind,
+            scale=task.scale,
+            seed=task.workload_seed,
+        ),
+        geometry=GeometrySpec(
+            cache_bytes=task.cache_bytes,
+            block_size=task.block_size,
+            associativity=task.associativity,
+        ),
+        search=SearchSpec(
+            family=task.family,
+            strategy=task.strategy,
+            n=task.n,
+            restarts=task.restarts,
+            seed=search_seed,
+            guard=task.guard,
+            max_steps=task.max_steps,
+        ),
+    )
+
+
+#: Grid keys :func:`expand_grid` sweeps over (lists) or fixes (scalars).
+_GRID_AXES = ("benchmarks", "kinds", "cache_bytes", "families", "strategies")
+_GRID_SCALARS = (
+    "suite",
+    "scale",
+    "block_size",
+    "associativity",
+    "n",
+    "workload_seed",
+    "search_seed",
+    "guard",
+    "restarts",
+    "max_steps",
+)
+
+
+def expand_grid(grid: Mapping[str, Any]) -> list[ExperimentSpec]:
+    """Expand a grid dictionary into the spec cross-product.
+
+    Axes (lists): ``benchmarks`` (default: the whole suite), ``kinds``,
+    ``cache_bytes``, ``families``, ``strategies``.  Scalars fix one
+    value for every cell: ``suite``, ``scale``, ``block_size``,
+    ``associativity``, ``n``, ``workload_seed``, ``search_seed``,
+    ``guard``, ``restarts``, ``max_steps``.
+    """
+    from repro.workloads.registry import workload_names
+
+    unknown = sorted(set(grid) - set(_GRID_AXES) - set(_GRID_SCALARS))
+    if unknown:
+        raise SpecError(
+            f"unknown grid key {unknown[0]!r}; axes: {', '.join(_GRID_AXES)}; "
+            f"scalars: {', '.join(_GRID_SCALARS)}"
+        )
+    suite = grid.get("suite", "mibench")
+    benchmarks = grid.get("benchmarks")
+    if benchmarks is None:
+        try:
+            benchmarks = workload_names(suite)
+        except ValueError as error:
+            raise SpecError(str(error), field="suite") from None
+    search_fixed = dict(
+        n=grid.get("n", SearchSpec().n),
+        guard=grid.get("guard", False),
+        restarts=grid.get("restarts", 0),
+        seed=grid.get("search_seed", 0),
+        max_steps=grid.get("max_steps"),
+    )
+    return [
+        ExperimentSpec(
+            trace=TraceSpec(
+                suite=suite,
+                benchmark=benchmark,
+                kind=kind,
+                scale=grid.get("scale", "small"),
+                seed=grid.get("workload_seed", 0),
+            ),
+            geometry=GeometrySpec(
+                cache_bytes=cache_bytes,
+                block_size=grid.get("block_size", 4),
+                associativity=grid.get("associativity", 1),
+            ),
+            search=SearchSpec(
+                family=family, strategy=strategy, **search_fixed
+            ),
+        )
+        for benchmark in benchmarks
+        for kind in grid.get("kinds", ("data",))
+        for cache_bytes in grid.get("cache_bytes", (1024, 4096, 16384))
+        for family in grid.get("families", ("2-in",))
+        for strategy in grid.get("strategies", ("steepest",))
+    ]
+
+
+class Session:
+    """Execution environment for declarative experiments.
+
+    Parameters
+    ----------
+    cache_dir:
+        Artifact-cache directory shared by every run in the session;
+        ``None`` keeps the session in-memory (specs may still name
+        their own ``execution.cache_dir``, which then applies).
+    workers:
+        Default process count for campaigns and sweeps (``None`` lets
+        each run pick: serial for single experiments, one per core for
+        grids).  Explicit session settings win over a spec's
+        ``execution`` table.
+    """
+
+    def __init__(
+        self, cache_dir: str | Path | None = None, workers: int | None = None
+    ):
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.workers = workers
+        self._contexts: dict[str | None, PipelineContext] = {}
+
+    # -- environment -------------------------------------------------------
+
+    def context(self, cache_dir: str | None = None) -> PipelineContext:
+        """The session's pipeline context (memoized per cache dir)."""
+        root = cache_dir if cache_dir is not None else self.cache_dir
+        ctx = self._contexts.get(root)
+        if ctx is None:
+            ctx = PipelineContext(root)
+            self._contexts[root] = ctx
+        return ctx
+
+    def activate(self):
+        """``with session.activate():`` — make the session ambient, so
+        legacy entry points (``optimize_for_trace`` et al.) read through
+        its artifact cache too."""
+        return self.context().activate()
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Artifact-cache counters summed over the session's contexts."""
+        totals: dict[str, dict[str, int]] = {}
+        for ctx in self._contexts.values():
+            for kind, per_kind in ctx.cache_stats().items():
+                bucket = totals.setdefault(kind, {})
+                for event, count in per_kind.items():
+                    bucket[event] = bucket.get(event, 0) + count
+        return totals
+
+    def _effective_cache_dir(self, execution: ExecutionSpec) -> str | None:
+        return self.cache_dir if self.cache_dir is not None else execution.cache_dir
+
+    def _effective_workers(self, execution: ExecutionSpec) -> int | None:
+        return self.workers if self.workers is not None else execution.workers
+
+    def _campaign_execution(self, specs: list[ExperimentSpec]) -> ExecutionSpec:
+        """One execution environment for a whole campaign.
+
+        A campaign runs through one cache directory and one pool, so
+        specs that *would* decide these (the session's own settings
+        override them) must agree — silently adopting the first spec's
+        environment for the others would write artifacts where nobody
+        asked.
+        """
+        if not specs:
+            return ExecutionSpec()
+        if self.cache_dir is None:
+            dirs = {spec.execution.cache_dir for spec in specs}
+            if len(dirs) > 1:
+                raise SpecError(
+                    f"campaign specs disagree on execution.cache_dir "
+                    f"({', '.join(sorted(map(repr, dirs)))}); align them or "
+                    "set Session(cache_dir=...) to override",
+                    field="execution.cache_dir",
+                )
+        if self.workers is None:
+            workers = {spec.execution.workers for spec in specs}
+            if len(workers) > 1:
+                raise SpecError(
+                    f"campaign specs disagree on execution.workers "
+                    f"({', '.join(sorted(map(repr, workers)))}); align them or "
+                    "set Session(workers=...) to override",
+                    field="execution.workers",
+                )
+        return specs[0].execution
+
+    # -- running specs -----------------------------------------------------
+
+    def optimize(self, spec: SpecLike):
+        """Run one experiment spec end to end.
+
+        Accepts a spec object, a spec dictionary, or a path to a
+        TOML/JSON spec file.  Returns the
+        :class:`~repro.core.optimizer.OptimizationResult` with the spec
+        attached (``result.spec``), so ``result.to_json()`` embeds it.
+        """
+        from repro.core.optimizer import optimize_for_trace
+
+        spec = ExperimentSpec.coerce(spec)
+        trace = spec.trace.resolve()
+        geometry = spec.geometry.resolve()
+        family = spec.search.resolve_family(geometry.index_bits)
+        context = self.context(self._effective_cache_dir(spec.execution))
+        result = optimize_for_trace(
+            trace,
+            geometry,
+            family=family,
+            n=spec.search.n,
+            guard=spec.search.guard,
+            restarts=spec.search.restarts,
+            seed=spec.search.seed,
+            max_steps=spec.search.max_steps,
+            context=context,
+            strategy=spec.search.strategy,
+        )
+        result.spec = spec
+        result.trace_digest = trace.digest
+        return result
+
+    def campaign(
+        self,
+        specs: Iterable[SpecLike],
+        base_seed: int = 0,
+        keep_details: bool = False,
+        derive_seeds: bool = False,
+    ) -> CampaignResult:
+        """Run many specs through the parallel campaign runner.
+
+        By default every spec's search seed is pinned into its task, so
+        results (and cached artifacts) are identical to running each
+        spec through :meth:`optimize` — the campaign only changes *how*
+        the work executes, never what it computes.  With
+        ``derive_seeds=True`` each cell instead derives a distinct seed
+        from its identity and ``base_seed`` (classic grid semantics:
+        independent of worker count and scheduling, different per
+        cell); the report rows carry whichever seed actually ran.
+        """
+        specs = [ExperimentSpec.coerce(spec) for spec in specs]
+        execution = self._campaign_execution(specs)
+        tasks = [spec_to_task(spec) for spec in specs]
+        if derive_seeds:
+            tasks = [replace(task, search_seed=None) for task in tasks]
+        return run_campaign(
+            tasks,
+            cache_dir=self._effective_cache_dir(execution),
+            workers=self._effective_workers(execution),
+            base_seed=base_seed,
+            keep_details=keep_details,
+        )
+
+    def sweep(
+        self,
+        grid: Mapping[str, Any],
+        base_seed: int = 0,
+        keep_details: bool = False,
+        derive_seeds: bool = False,
+    ) -> CampaignResult:
+        """Expand a grid dictionary (see :func:`expand_grid`) and run it."""
+        return self.campaign(
+            expand_grid(grid),
+            base_seed=base_seed,
+            keep_details=keep_details,
+            derive_seeds=derive_seeds,
+        )
+
+    def __repr__(self) -> str:
+        return f"Session(cache_dir={self.cache_dir!r}, workers={self.workers!r})"

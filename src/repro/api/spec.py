@@ -1,0 +1,416 @@
+"""Typed, frozen, validated experiment specs.
+
+One :class:`ExperimentSpec` is the complete, declarative description of
+one run of the paper's pipeline — which trace (:class:`TraceSpec`),
+which cache (:class:`GeometrySpec`), how to search
+(:class:`SearchSpec`) and how to execute (:class:`ExecutionSpec`).
+Every layer consumes and emits the same object: the
+:class:`~repro.api.session.Session` facade runs it, campaign grids are
+lists of it, reports echo it back verbatim, and the CLI's
+``repro run`` executes a TOML/JSON file of it.
+
+Specs are validated on construction (a spec object that exists is a
+spec that can run) and round-trip losslessly::
+
+    ExperimentSpec.from_dict(spec.to_dict()) == spec
+    ExperimentSpec.from_toml(spec.to_toml()) == spec
+
+The :attr:`ExperimentSpec.digest` covers exactly the fields that
+determine results (trace, geometry, search — not execution), so equal
+digests mean the artifact cache will serve one run's outputs to the
+other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.api import tomlio
+from repro.api.errors import SpecError
+from repro.cache.geometry import PAPER_HASHED_BITS, CacheGeometry
+from repro.search.families import FAMILY_CHOICES, FunctionFamily, family_for_name
+from repro.search.strategies import strategy_for_name
+from repro.trace.trace import Trace
+from repro.workloads.registry import (
+    SCALES,
+    SUITES,
+    TRACE_KINDS,
+    get_trace,
+    has_workload,
+    workload_names,
+)
+
+__all__ = [
+    "TraceSpec",
+    "GeometrySpec",
+    "SearchSpec",
+    "ExecutionSpec",
+    "ExperimentSpec",
+]
+
+#: Bumped whenever the digest recipe changes, so digests from different
+#: spec schema generations can never collide.
+_SPEC_DIGEST_VERSION = "experiment-spec-v1"
+
+_STRATEGY_CHOICES = "steepest, first-improvement, beam[:K], anneal[:ITERS[:SEED]]"
+
+
+def _require_int(value: Any, field_name: str, *, minimum: int | None = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(
+            f"expected an integer, got {value!r}", field=field_name
+        )
+    if minimum is not None and value < minimum:
+        raise SpecError(f"must be >= {minimum}, got {value}", field=field_name)
+    return value
+
+
+def _check_fields(
+    payload: Mapping[str, Any], cls, section: str | None = None
+) -> dict[str, Any]:
+    """Reject unknown keys with a message naming the admissible ones."""
+    if not isinstance(payload, Mapping):
+        raise SpecError(
+            f"expected a table/object, got {type(payload).__name__}",
+            field=section,
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        where = f"{section}.{unknown[0]}" if section else unknown[0]
+        raise SpecError(
+            f"unknown key {unknown[0]!r}; known keys: {', '.join(sorted(known))}",
+            field=where,
+        )
+    return dict(payload)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Which memory-access trace to run on, by registry identity.
+
+    The trace is named, not embedded: ``(suite, benchmark, kind, scale,
+    seed)`` resolves through :mod:`repro.workloads.registry`, whose
+    kernels are deterministic in ``(scale, seed)`` — so a spec is a
+    complete, content-stable description of its input data.
+    """
+
+    suite: str
+    benchmark: str
+    kind: str = "data"
+    scale: str = "small"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.suite not in SUITES:
+            raise SpecError(
+                f"unknown suite {self.suite!r}; choose from "
+                f"{', '.join(sorted(SUITES))}",
+                field="trace.suite",
+            )
+        if not has_workload(self.suite, self.benchmark):
+            raise SpecError(
+                f"unknown workload {self.suite}/{self.benchmark}; choose from "
+                f"{', '.join(workload_names(self.suite))}",
+                field="trace.benchmark",
+            )
+        if self.kind not in TRACE_KINDS:
+            raise SpecError(
+                f"unknown trace kind {self.kind!r}; choose from "
+                f"{', '.join(TRACE_KINDS)}",
+                field="trace.kind",
+            )
+        if self.scale not in SCALES:
+            raise SpecError(
+                f"unknown scale {self.scale!r}; choose from {', '.join(SCALES)}",
+                field="trace.scale",
+            )
+        _require_int(self.seed, "trace.seed", minimum=0)
+
+    def resolve(self) -> Trace:
+        """The actual trace (workload runs are cached per identity)."""
+        return get_trace(self.suite, self.benchmark, self.kind, self.scale, self.seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceSpec":
+        return cls(**_check_fields(payload, cls, "trace"))
+
+
+@dataclass(frozen=True)
+class GeometrySpec:
+    """The target cache, in the paper's parameters."""
+
+    cache_bytes: int = 4096
+    block_size: int = 4
+    associativity: int = 1
+
+    def __post_init__(self):
+        _require_int(self.cache_bytes, "geometry.cache_bytes", minimum=1)
+        _require_int(self.block_size, "geometry.block_size", minimum=1)
+        _require_int(self.associativity, "geometry.associativity", minimum=1)
+        try:
+            self.resolve()
+        except ValueError as error:
+            raise SpecError(str(error), field="geometry") from None
+
+    def resolve(self) -> CacheGeometry:
+        return CacheGeometry(self.cache_bytes, self.block_size, self.associativity)
+
+    @property
+    def index_bits(self) -> int:
+        """``m``, the number of set-index bits the hash must produce."""
+        return self.resolve().index_bits
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "GeometrySpec":
+        return cls(**_check_fields(payload, cls, "geometry"))
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """How to construct the index function (Sec. 3.2 and variants)."""
+
+    family: str = "2-in"
+    strategy: str = "steepest"
+    n: int = PAPER_HASHED_BITS
+    restarts: int = 0
+    seed: int = 0
+    guard: bool = False
+    max_steps: int | None = None
+
+    def __post_init__(self):
+        _require_int(self.n, "search.n", minimum=1)
+        _require_int(self.restarts, "search.restarts", minimum=0)
+        _require_int(self.seed, "search.seed", minimum=0)
+        if self.max_steps is not None:
+            _require_int(self.max_steps, "search.max_steps", minimum=0)
+        if not isinstance(self.guard, bool):
+            raise SpecError(
+                f"expected true/false, got {self.guard!r}", field="search.guard"
+            )
+        try:
+            # m=1 is a placeholder: only the *name* is checked here;
+            # real (n, m) sizing happens in :meth:`resolve_family` once
+            # a geometry is known.
+            family_for_name(self.family, self.n, 1)
+        except ValueError:
+            raise SpecError(
+                f"unknown family {self.family!r}; choose from "
+                f"{', '.join(FAMILY_CHOICES)}",
+                field="search.family",
+            ) from None
+        try:
+            strategy_for_name(self.strategy)
+        except ValueError:
+            raise SpecError(
+                f"unknown search strategy {self.strategy!r}; choose from "
+                f"{_STRATEGY_CHOICES}",
+                field="search.strategy",
+            ) from None
+
+    def resolve_family(self, index_bits: int) -> FunctionFamily:
+        """The family instance sized ``(n, m)`` for a given geometry."""
+        if index_bits > self.n:
+            raise SpecError(
+                f"the geometry needs m={index_bits} index bits but the search "
+                f"hashes only n={self.n} block-address bits; raise search.n to "
+                f"at least {index_bits} or shrink the cache",
+                field="search.n",
+            )
+        return family_for_name(self.family, self.n, index_bits)
+
+    def resolve_strategy(self):
+        return strategy_for_name(self.strategy)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SearchSpec":
+        return cls(**_check_fields(payload, cls, "search"))
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How to execute — never part of the result identity.
+
+    ``workers=None`` lets the runner pick (serial for one experiment,
+    one per core for grids); ``cache_dir=None`` means in-memory unless
+    the session provides a cache.
+    """
+
+    workers: int | None = None
+    cache_dir: str | None = None
+
+    def __post_init__(self):
+        if self.workers is not None:
+            _require_int(self.workers, "execution.workers", minimum=0)
+        if self.cache_dir is not None and not isinstance(self.cache_dir, str):
+            raise SpecError(
+                f"expected a path string, got {self.cache_dir!r}",
+                field="execution.cache_dir",
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExecutionSpec":
+        return cls(**_check_fields(payload, cls, "execution"))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One complete experiment: trace x geometry x search x execution."""
+
+    trace: TraceSpec
+    geometry: GeometrySpec = field(default_factory=GeometrySpec)
+    search: SearchSpec = field(default_factory=SearchSpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+
+    def __post_init__(self):
+        for name, cls in (
+            ("trace", TraceSpec),
+            ("geometry", GeometrySpec),
+            ("search", SearchSpec),
+            ("execution", ExecutionSpec),
+        ):
+            if not isinstance(getattr(self, name), cls):
+                raise SpecError(
+                    f"expected a {cls.__name__}, got "
+                    f"{type(getattr(self, name)).__name__}",
+                    field=name,
+                )
+        # Cross-field sizing: constructing the family instance surfaces
+        # an (n, m) mismatch right at the boundary.
+        self.search.resolve_family(self.geometry.index_bits)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def digest(self) -> str:
+        """Stable content digest of everything that determines results.
+
+        Execution parameters (workers, cache directory) are excluded:
+        two specs with equal digests produce bit-identical artifacts,
+        so the second run resolves entirely from the cache the first
+        one filled.
+        """
+        payload = json.dumps(
+            {
+                "version": _SPEC_DIGEST_VERSION,
+                "trace": self.trace.to_dict(),
+                "geometry": self.geometry.to_dict(),
+                "search": self.search.to_dict(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def with_execution(self, **changes: Any) -> "ExperimentSpec":
+        """Copy with execution fields replaced (digest unchanged)."""
+        return replace(self, execution=replace(self.execution, **changes))
+
+    def describe(self) -> str:
+        """One human line, in the style of the result summaries."""
+        t, g, s = self.trace, self.geometry, self.search
+        extras = []
+        if s.strategy != "steepest":
+            extras.append(f"strategy={s.strategy}")
+        if s.restarts:
+            extras.append(f"restarts={s.restarts}")
+        if s.guard:
+            extras.append("guard")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return (
+            f"{t.suite}/{t.benchmark} [{t.kind}, {t.scale}] @ {g.resolve()}: "
+            f"family {s.family}, n={s.n}{suffix}"
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace": self.trace.to_dict(),
+            "geometry": self.geometry.to_dict(),
+            "search": self.search.to_dict(),
+            "execution": self.execution.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        payload = _check_fields(payload, cls)
+        if "trace" not in payload:
+            raise SpecError(
+                "a [trace] table naming suite and benchmark is required",
+                field="trace",
+            )
+        return cls(
+            trace=TraceSpec.from_dict(payload["trace"]),
+            geometry=GeometrySpec.from_dict(payload.get("geometry", {})),
+            search=SearchSpec.from_dict(payload.get("search", {})),
+            execution=ExecutionSpec.from_dict(payload.get("execution", {})),
+        )
+
+    def to_toml(self, header: str | None = None) -> str:
+        return tomlio.dumps(self.to_dict(), header=header)
+
+    @classmethod
+    def from_toml(cls, text: str) -> "ExperimentSpec":
+        try:
+            payload = tomlio.loads(text)
+        except SpecError:
+            raise
+        except Exception as error:  # tomllib.TOMLDecodeError and friends
+            raise SpecError(f"not valid TOML: {error}") from None
+        return cls.from_dict(payload)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the spec as TOML (``.toml``) or JSON (anything else)."""
+        path = Path(path)
+        if path.suffix == ".json":
+            path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        else:
+            path.write_text(self.to_toml())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentSpec":
+        """Read a spec file; the format follows the suffix."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise SpecError(f"cannot read spec file {path}: {error}") from None
+        if path.suffix == ".json":
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise SpecError(f"{path} is not valid JSON: {error}") from None
+            return cls.from_dict(payload)
+        return cls.from_toml(text)
+
+    @classmethod
+    def coerce(cls, value: "ExperimentSpec | Mapping | str | Path") -> "ExperimentSpec":
+        """Accept a spec, a spec dictionary, or a path to a spec file."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        if isinstance(value, (str, Path)):
+            return cls.load(value)
+        raise SpecError(
+            f"cannot interpret {type(value).__name__} as an experiment spec; "
+            "pass an ExperimentSpec, a dict, or a spec-file path"
+        )

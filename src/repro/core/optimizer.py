@@ -9,9 +9,10 @@ indexing (the quantity in Tables 2 and 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
 
+from repro.api.errors import SpecError
 from repro.cache.geometry import CacheGeometry, PAPER_HASHED_BITS
 from repro.cache.stats import CacheStats
 from repro.core.evaluate import (
@@ -28,6 +29,7 @@ from repro.search.strategies import SearchStrategy, strategy_for_name
 from repro.trace.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.spec import ExperimentSpec
     from repro.pipeline.context import PipelineContext
 
 __all__ = ["OptimizationResult", "optimize_for_trace"]
@@ -44,8 +46,21 @@ class OptimizationResult:
     baseline: CacheStats
     optimized: CacheStats
     search: SearchResult
-    profile: ConflictProfile
+    #: ``None`` only on results rebuilt from a JSON report — the
+    #: profile lives in the artifact cache, not in reports.
+    profile: ConflictProfile | None
     reverted: bool = False
+    #: The :class:`~repro.api.spec.ExperimentSpec` that produced this
+    #: result, attached by the spec-driven entry points
+    #: (:meth:`repro.api.Session.optimize`, ``repro run``) and echoed
+    #: into :meth:`to_json` so reports are replayable.
+    spec: "ExperimentSpec | None" = field(default=None, compare=False)
+    #: Content digest of the input trace (ties the report to the
+    #: artifact-cache keys derived from it).
+    trace_digest: str = ""
+    #: Digest of the conflict profile the search ran on; kept separate
+    #: so report round trips survive dropping the profile itself.
+    profile_digest: str = ""
 
     @property
     def removed_percent(self) -> float:
@@ -66,6 +81,24 @@ class OptimizationResult:
             f"({self.baseline.misses} -> {self.optimized.misses})"
             + (" [reverted to modulo]" if self.reverted else "")
         )
+
+    def to_json(self, spec: "ExperimentSpec | None" = None) -> dict[str, Any]:
+        """The stable ``repro-report/v1`` payload for this result.
+
+        ``spec`` defaults to the one attached by the spec-driven entry
+        points; it is echoed verbatim into the report, which is what
+        makes reports replayable inputs.
+        """
+        from repro.api.report import optimization_report
+
+        return optimization_report(self, spec=spec)
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "OptimizationResult":
+        """Rebuild a result from its :meth:`to_json` payload."""
+        from repro.api.report import optimization_from_report
+
+        return optimization_from_report(payload)
 
 
 def optimize_for_trace(
@@ -120,16 +153,25 @@ def optimize_for_trace(
     """
     m = geometry.index_bits
     if m > n:
-        raise ValueError(f"geometry needs m={m} index bits but only n={n} are hashed")
+        raise SpecError(
+            f"geometry needs m={m} index bits but only n={n} are hashed; "
+            f"raise n to at least {m} or shrink the cache"
+        )
     if isinstance(family, str):
-        family = family_for_name(family, n, m)
+        try:
+            family = family_for_name(family, n, m)
+        except ValueError as error:
+            raise SpecError(str(error)) from None
     if family.n != n or family.m != m:
-        raise ValueError(
+        raise SpecError(
             f"family is sized for (n={family.n}, m={family.m}), "
             f"expected (n={n}, m={m})"
         )
 
-    strategy = strategy_for_name(strategy)
+    try:
+        strategy = strategy_for_name(strategy)
+    except ValueError as error:
+        raise SpecError(str(error)) from None
     ctx = context if context is not None else current_context()
     if profile is None:
         profile = ctx.profile(trace, geometry, n) if ctx is not None else (
@@ -219,4 +261,6 @@ def _optimize(
         search=search,
         profile=profile,
         reverted=reverted,
+        trace_digest=trace.digest,
+        profile_digest=profile.digest,
     )

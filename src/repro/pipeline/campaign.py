@@ -61,14 +61,23 @@ class CampaignTask:
     #: Search strategy spec (see :mod:`repro.search.strategies`); the
     #: default stays the paper's steepest descent.
     strategy: str = "steepest"
+    #: Set associativity (1 = the paper's direct-mapped caches).
+    associativity: int = 1
+    #: Pinned search seed.  ``None`` (grid campaigns) derives one from
+    #: the campaign's base seed; spec-driven campaigns pin the spec's
+    #: seed here so they compute exactly what ``Session.optimize``
+    #: would for the same spec.
+    search_seed: int | None = None
 
     @property
     def geometry(self) -> CacheGeometry:
-        return CacheGeometry.direct_mapped(self.cache_bytes, self.block_size)
+        return CacheGeometry(self.cache_bytes, self.block_size, self.associativity)
 
     def derive_seed(self, base_seed: int) -> int:
         """Deterministic per-task search seed, independent of execution
         order and worker placement."""
+        if self.search_seed is not None:
+            return self.search_seed
         ident = (
             f"{self.suite}/{self.benchmark}/{self.kind}/{self.scale}/"
             f"{self.cache_bytes}/{self.block_size}/{self.family}/{self.n}/"
@@ -76,9 +85,12 @@ class CampaignTask:
         )
         # Default-steepest tasks keep their pre-strategy identity so
         # previously derived seeds (and the artifacts keyed by them)
-        # stay valid; every other strategy gets its own seed space.
+        # stay valid; every other strategy (and any non-default
+        # associativity) gets its own seed space.
         if self.strategy != "steepest":
             ident += f"/{self.strategy}"
+        if self.associativity != 1:
+            ident += f"/a{self.associativity}"
         digest = hashlib.sha256(ident.encode()).digest()
         return (base_seed + int.from_bytes(digest[:4], "big")) & 0x7FFFFFFF
 
@@ -100,6 +112,18 @@ class CampaignRow:
     #: Full :class:`OptimizationResult`, present only with
     #: ``keep_details=True``.
     result: "OptimizationResult | None" = None
+
+    def to_json(self) -> dict:
+        """The row's ``repro-report/v1`` payload (spec echoed inside)."""
+        from repro.api.report import row_report
+
+        return row_report(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CampaignRow":
+        from repro.api.report import row_from_report
+
+        return row_from_report(payload)
 
 
 @dataclass
@@ -136,35 +160,24 @@ class CampaignResult:
         return totals["misses"] == 0 and totals["stores"] == 0
 
     def to_json(self) -> dict:
-        """JSON-serializable summary (used by ``repro campaign --json``)."""
-        return {
-            "workers": self.workers,
-            "cache_dir": self.cache_dir,
-            "seconds": self.seconds,
-            "base_seed": self.base_seed,
-            "cache_totals": self.cache_totals(),
-            "fully_cached": self.fully_cached,
-            "rows": [
-                {
-                    "suite": row.task.suite,
-                    "benchmark": row.task.benchmark,
-                    "kind": row.task.kind,
-                    "scale": row.task.scale,
-                    "cache_bytes": row.task.cache_bytes,
-                    "family": row.task.family,
-                    "strategy": row.task.strategy,
-                    "base_misses": row.base_misses,
-                    "optimized_misses": row.optimized_misses,
-                    "base_misses_per_kuop": row.base_misses_per_kuop,
-                    "removed_percent": row.removed_percent,
-                    "accesses": row.accesses,
-                    "uops": row.uops,
-                    "search_seed": row.search_seed,
-                    "seconds": row.seconds,
-                }
-                for row in self.rows
-            ],
-        }
+        """The campaign's ``repro-report/v1`` payload.
+
+        Every row echoes its :class:`~repro.api.spec.ExperimentSpec`
+        (with the search seed the run actually used), so a campaign
+        report is a replayable input:
+        ``Session.campaign(specs_from_report(payload))`` re-runs it —
+        and, with a shared cache, entirely from artifacts.
+        """
+        from repro.api.report import campaign_report
+
+        return campaign_report(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CampaignResult":
+        """Rebuild a campaign summary from its :meth:`to_json` payload."""
+        from repro.api.report import campaign_from_report
+
+        return campaign_from_report(payload)
 
 
 def build_grid(

@@ -299,6 +299,8 @@ class PipelineContext:
             ),
             profile=profile,
             reverted=bool(payload["reverted"]),
+            trace_digest=trace.digest,
+            profile_digest=profile.digest,
         )
 
     def store_optimization(

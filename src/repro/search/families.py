@@ -29,8 +29,14 @@ __all__ = [
     "GeneralXorFamily",
     "PermutationFamily",
     "BitSelectFamily",
+    "FAMILY_CHOICES",
     "family_for_name",
 ]
+
+#: The paper's canonical family names, in table order — the single
+#: source for CLI ``choices=`` and spec-boundary error messages.
+#: (:func:`family_for_name` additionally accepts any ``"<k>-in"``.)
+FAMILY_CHOICES = ("1-in", "2-in", "4-in", "16-in", "general")
 
 
 @dataclass(frozen=True)

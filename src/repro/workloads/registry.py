@@ -10,7 +10,10 @@ from repro.workloads.cpu import WorkloadRun
 
 __all__ = [
     "SUITES",
+    "SCALES",
+    "TRACE_KINDS",
     "workload_names",
+    "has_workload",
     "get_workload",
     "get_trace",
 ]
@@ -19,6 +22,22 @@ SUITES = {
     "mibench": mibench.KERNELS,
     "powerstone": powerstone.KERNELS,
 }
+
+#: The scale presets every bundled kernel understands, smallest first.
+SCALES = ("tiny", "small", "default", "large")
+
+#: The address streams a workload run can be asked for.
+TRACE_KINDS = ("data", "instruction")
+
+
+def has_workload(suite: str, name: str) -> bool:
+    """Whether ``suite/name`` resolves, without running the kernel.
+
+    The spec layer (:class:`repro.api.TraceSpec`) validates against
+    this so a typo fails at construction, not minutes later inside a
+    campaign worker.
+    """
+    return name in SUITES.get(suite, {})
 
 
 def workload_names(suite: str) -> list[str]:

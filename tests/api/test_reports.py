@@ -1,0 +1,188 @@
+"""The stable report schema: round trips, schema checks, golden files.
+
+The golden files under ``tests/data/`` pin the exact ``repro-report/v1``
+key layout the CLI emits.  Volatile fields (wall-clock seconds, cache
+directories) are normalized on both sides before comparison; every
+other byte must match — a diff here is a schema change and must bump
+:data:`repro.api.report.REPORT_SCHEMA`.
+
+Regenerate after an intentional schema change with::
+
+    PYTHONPATH=src python tests/api/test_reports.py --regenerate
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.api import (
+    ExperimentSpec,
+    REPORT_SCHEMA,
+    Session,
+    SpecError,
+    campaign_from_report,
+    optimization_from_report,
+    specs_from_report,
+)
+from repro.api.report import search_report
+from repro.core.optimizer import OptimizationResult
+
+DATA = Path(__file__).parent.parent / "data"
+
+GOLDEN_CASES = {
+    "golden_optimize_report.json": lambda tmp: [
+        "optimize", "powerstone", "qurt", "--scale", "tiny",
+        "--cache-kb", "1", "--json",
+    ],
+    "golden_search_report.json": lambda tmp: [
+        "search", "powerstone", "qurt", "--scale", "tiny",
+        "--cache-kb", "1", "--restarts", "1", "--json",
+    ],
+    "golden_campaign_report.json": lambda tmp: [
+        "campaign", "--suite", "powerstone", "--benchmarks", "qurt", "fir",
+        "--cache-kb", "1", "--families", "2-in", "--scale", "tiny",
+        "--workers", "1", "--cache-dir", str(tmp / "campaign-cache"), "--json",
+    ],
+}
+
+
+def normalize(payload):
+    """Zero the volatile fields (timings, host paths) recursively."""
+    if isinstance(payload, dict):
+        out = {}
+        for key, value in payload.items():
+            if key == "seconds":
+                out[key] = 0.0
+            elif key == "cache_dir":
+                out[key] = None
+            else:
+                out[key] = normalize(value)
+        return out
+    if isinstance(payload, list):
+        return [normalize(item) for item in payload]
+    return payload
+
+
+def run_cli_json(argv) -> dict:
+    import io
+    from contextlib import redirect_stdout
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    assert code == 0, buffer.getvalue()
+    return json.loads(buffer.getvalue())
+
+
+class TestGoldenFiles:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+    def test_cli_json_matches_golden(self, name, tmp_path):
+        golden = json.loads((DATA / name).read_text())
+        payload = run_cli_json(GOLDEN_CASES[name](tmp_path))
+        assert normalize(payload) == normalize(golden)
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+    def test_goldens_declare_current_schema(self, name):
+        golden = json.loads((DATA / name).read_text())
+        assert golden["schema"] == REPORT_SCHEMA
+
+
+class TestOptimizationReports:
+    def test_round_trip(self):
+        spec = ExperimentSpec.from_dict(
+            {"trace": {"suite": "powerstone", "benchmark": "qurt",
+                       "scale": "tiny"},
+             "geometry": {"cache_bytes": 1024}}
+        )
+        result = Session().optimize(spec)
+        payload = json.loads(json.dumps(result.to_json()))
+        rebuilt = OptimizationResult.from_json(payload)
+        assert rebuilt.hash_function == result.hash_function
+        assert rebuilt.baseline == result.baseline
+        assert rebuilt.optimized == result.optimized
+        assert rebuilt.search == result.search
+        assert rebuilt.spec == spec
+        assert rebuilt.geometry == result.geometry
+        assert rebuilt.trace_digest == result.trace_digest
+        assert rebuilt.profile is None  # profiles live in the cache
+        assert rebuilt.to_json() == payload  # stable under re-serialization
+
+    def test_report_echoes_spec_bit_identically(self):
+        spec = ExperimentSpec.from_dict(
+            {"trace": {"suite": "powerstone", "benchmark": "fir",
+                       "scale": "tiny"}}
+        )
+        report = Session().optimize(spec).to_json()
+        assert ExperimentSpec.from_dict(report["spec"]) == spec
+        assert report["digests"]["spec"] == spec.digest
+
+    def test_specless_report_refuses_rebuild(self):
+        spec = ExperimentSpec.from_dict(
+            {"trace": {"suite": "powerstone", "benchmark": "qurt",
+                       "scale": "tiny"}}
+        )
+        payload = Session().optimize(spec).to_json()
+        payload["spec"] = None
+        with pytest.raises(SpecError, match="carries no spec"):
+            optimization_from_report(payload)
+
+    def test_wrong_schema_is_rejected(self):
+        with pytest.raises(SpecError, match="unsupported report schema"):
+            optimization_from_report({"schema": "repro-report/v0", "kind": "optimization"})
+        with pytest.raises(SpecError, match="expected a 'campaign' report"):
+            campaign_from_report({"schema": REPORT_SCHEMA, "kind": "optimization"})
+
+
+class TestSearchReports:
+    def test_search_report_shape(self):
+        from repro.profiling.conflict_profile import profile_trace
+        from repro.search import hill_climb_front
+
+        spec = ExperimentSpec.from_dict(
+            {"trace": {"suite": "powerstone", "benchmark": "qurt",
+                       "scale": "tiny"},
+             "geometry": {"cache_bytes": 1024},
+             "search": {"restarts": 2}}
+        )
+        profile = profile_trace(
+            spec.trace.resolve(), spec.geometry.resolve(), spec.search.n
+        )
+        front = hill_climb_front(
+            profile, spec.search.resolve_family(spec.geometry.index_bits),
+            restarts=2, seed=0,
+        )
+        payload = search_report(spec, front)
+        assert payload["schema"] == REPORT_SCHEMA and payload["kind"] == "search"
+        assert len(payload["front"]) == 3
+        assert payload["best"]["estimated_misses"] == min(
+            entry["estimated_misses"] for entry in payload["front"]
+        )
+        assert ExperimentSpec.from_dict(payload["spec"]) == spec
+
+
+class TestSpecsFromReport:
+    def test_rejects_non_reports(self):
+        with pytest.raises(SpecError, match="not a repro-report/v1 report"):
+            specs_from_report({"rows": []})
+
+
+def _regenerate() -> None:
+    import tempfile
+
+    DATA.mkdir(exist_ok=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, argv in GOLDEN_CASES.items():
+            payload = normalize(run_cli_json(argv(Path(tmp))))
+            (DATA / name).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {DATA / name}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

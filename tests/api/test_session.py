@@ -1,0 +1,195 @@
+"""The Session facade: spec execution, caching, campaigns, sweeps."""
+
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    GeometrySpec,
+    SearchSpec,
+    Session,
+    SpecError,
+    TraceSpec,
+    expand_grid,
+    spec_to_task,
+    task_to_spec,
+)
+from repro.core.optimizer import optimize_for_trace
+
+
+def tiny_spec(benchmark="qurt", family="2-in", **search):
+    return ExperimentSpec(
+        trace=TraceSpec("powerstone", benchmark, scale="tiny"),
+        geometry=GeometrySpec(cache_bytes=1024),
+        search=SearchSpec(family=family, **search),
+    )
+
+
+def recomputed(session):
+    return sum(
+        per_kind.get("misses", 0) + per_kind.get("stores", 0)
+        for per_kind in session.cache_stats().values()
+    )
+
+
+class TestOptimize:
+    def test_matches_legacy_entry_point(self):
+        spec = tiny_spec()
+        result = Session().optimize(spec)
+        legacy = optimize_for_trace(
+            spec.trace.resolve(), spec.geometry.resolve(), family="2-in"
+        )
+        assert result.hash_function == legacy.hash_function
+        assert result.optimized.misses == legacy.optimized.misses
+        assert result.baseline.misses == legacy.baseline.misses
+
+    def test_attaches_spec_and_trace_digest(self):
+        spec = tiny_spec()
+        result = Session().optimize(spec)
+        assert result.spec == spec
+        assert result.trace_digest == spec.trace.resolve().digest
+
+    def test_accepts_dict_and_path(self, tmp_path):
+        spec = tiny_spec()
+        by_dict = Session().optimize(spec.to_dict())
+        by_path = Session().optimize(spec.save(tmp_path / "spec.toml"))
+        assert by_dict.hash_function == by_path.hash_function
+        assert by_dict.spec == by_path.spec == spec
+
+    def test_identical_specs_hit_the_cache(self, tmp_path):
+        """The spec digest is the artifact-cache contract: equal digests
+        mean the second run recomputes nothing."""
+        spec = tiny_spec()
+        clone = ExperimentSpec.from_toml(spec.to_toml())
+        assert clone.digest == spec.digest
+
+        first = Session(cache_dir=tmp_path)
+        cold = first.optimize(spec)
+        assert recomputed(first) > 0
+
+        second = Session(cache_dir=tmp_path)
+        warm = second.optimize(clone)
+        assert recomputed(second) == 0
+        assert warm.hash_function == cold.hash_function
+        assert warm.optimized.misses == cold.optimized.misses
+        assert warm.search.history == cold.search.history
+
+    def test_different_digest_means_different_artifacts(self, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        session.optimize(tiny_spec(family="2-in"))
+        before = recomputed(session)
+        other = tiny_spec(family="4-in")
+        assert other.digest != tiny_spec(family="2-in").digest
+        session.optimize(other)
+        assert recomputed(session) > before
+
+    def test_ambient_activation_serves_legacy_calls(self, tmp_path):
+        spec = tiny_spec()
+        session = Session(cache_dir=tmp_path)
+        direct = session.optimize(spec)
+        before = recomputed(session)
+        with session.activate():
+            legacy = optimize_for_trace(
+                spec.trace.resolve(), spec.geometry.resolve(), family="2-in"
+            )
+        assert recomputed(session) == before  # fully served from cache
+        assert legacy.hash_function == direct.hash_function
+
+    def test_spec_cache_dir_used_when_session_has_none(self, tmp_path):
+        spec = tiny_spec().with_execution(cache_dir=str(tmp_path / "store"))
+        session = Session()
+        session.optimize(spec)
+        assert (tmp_path / "store").exists()
+
+
+class TestCampaignAndSweep:
+    def test_campaign_matches_optimize(self, tmp_path):
+        specs = [tiny_spec("qurt"), tiny_spec("fir")]
+        session = Session(cache_dir=tmp_path, workers=1)
+        campaign = session.campaign(specs)
+        assert [row.search_seed for row in campaign.rows] == [0, 0]
+        for spec, row in zip(specs, campaign.rows):
+            direct = session.optimize(spec)
+            assert row.optimized_misses == direct.optimized.misses
+            assert row.base_misses == direct.baseline.misses
+
+    def test_campaign_is_replayable_from_report(self, tmp_path):
+        from repro.api import specs_from_report
+
+        session = Session(cache_dir=tmp_path, workers=1)
+        campaign = session.campaign([tiny_spec("qurt"), tiny_spec("fir")])
+        replay = session.campaign(specs_from_report(campaign.to_json()))
+        assert replay.fully_cached
+        assert [r.optimized_misses for r in replay.rows] == [
+            r.optimized_misses for r in campaign.rows
+        ]
+
+    def test_derive_seeds_gives_grid_semantics(self, tmp_path):
+        specs = [tiny_spec("qurt"), tiny_spec("fir")]
+        session = Session(cache_dir=tmp_path, workers=1)
+        derived = session.campaign(specs, base_seed=3, derive_seeds=True)
+        seeds = [row.search_seed for row in derived.rows]
+        assert seeds[0] != seeds[1]  # per-cell identity seeds
+        # The report still replays exactly: rows carry the derived seed.
+        replayed = session.campaign(
+            [row.to_json()["spec"] for row in derived.rows]
+        )
+        assert [r.search_seed for r in replayed.rows] == seeds
+
+    def test_sweep_expands_cross_product(self, tmp_path):
+        session = Session(cache_dir=tmp_path, workers=1)
+        result = session.sweep(
+            {
+                "suite": "powerstone",
+                "benchmarks": ["qurt", "fir"],
+                "cache_bytes": [1024],
+                "families": ["1-in", "2-in"],
+                "scale": "tiny",
+            }
+        )
+        assert len(result.rows) == 4
+        assert {row.task.family for row in result.rows} == {"1-in", "2-in"}
+
+    def test_campaign_rejects_disagreeing_executions(self, tmp_path):
+        a = tiny_spec("qurt").with_execution(cache_dir=str(tmp_path / "a"))
+        b = tiny_spec("fir").with_execution(cache_dir=str(tmp_path / "b"))
+        with pytest.raises(SpecError, match="disagree on execution.cache_dir"):
+            Session().campaign([a, b])
+        # A session-level override settles the disagreement.
+        result = Session(cache_dir=tmp_path / "c", workers=1).campaign([a, b])
+        assert len(result.rows) == 2 and (tmp_path / "c").exists()
+
+    def test_expand_grid_rejects_unknown_keys(self):
+        with pytest.raises(SpecError, match="unknown grid key 'benchmark'"):
+            expand_grid({"benchmark": "fft"})
+
+    def test_expand_grid_defaults_to_whole_suite(self):
+        from repro.workloads.registry import workload_names
+
+        specs = expand_grid({"suite": "powerstone", "cache_bytes": [1024]})
+        assert {s.trace.benchmark for s in specs} == set(
+            workload_names("powerstone")
+        )
+
+
+class TestTaskBridge:
+    def test_spec_task_round_trip(self):
+        spec = tiny_spec(
+            family="4-in", strategy="beam:2", restarts=2, seed=9, guard=True,
+            max_steps=5,
+        )
+        assert task_to_spec(spec_to_task(spec)) == spec
+
+    def test_task_spec_round_trip_with_seed(self):
+        task = spec_to_task(tiny_spec())
+        spec = task_to_spec(task, search_seed=17)
+        assert spec.search.seed == 17
+        assert spec_to_task(spec).search_seed == 17
+
+    def test_associativity_round_trips(self):
+        spec = ExperimentSpec(
+            trace=TraceSpec("powerstone", "qurt", scale="tiny"),
+            geometry=GeometrySpec(cache_bytes=2048, associativity=2),
+        )
+        task = spec_to_task(spec)
+        assert task.geometry.associativity == 2
+        assert task_to_spec(task) == spec

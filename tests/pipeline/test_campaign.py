@@ -74,7 +74,7 @@ class TestStrategies:
         result = run_campaign(tasks, cache_dir=tmp_path, workers=1)
         assert len(result.rows) == 1
         payload = result.to_json()
-        assert payload["rows"][0]["strategy"] == "first-improvement"
+        assert payload["rows"][0]["spec"]["search"]["strategy"] == "first-improvement"
 
 
 class TestSeeds:
@@ -152,10 +152,32 @@ class TestRunCampaign:
     def test_to_json_is_serializable(self, tmp_path):
         result = run_campaign(tiny_grid(families=("2-in",)), workers=1)
         payload = json.loads(json.dumps(result.to_json()))
+        assert payload["schema"] == "repro-report/v1"
+        assert payload["kind"] == "campaign"
         assert payload["workers"] == 1
         assert len(payload["rows"]) == 2
         row = payload["rows"][0]
-        assert {"benchmark", "family", "removed_percent", "search_seed"} <= set(row)
+        assert {"spec", "removed_percent", "search_seed"} <= set(row)
+        # Rows echo their spec, so the report is a replayable input.
+        assert row["spec"]["trace"]["suite"] == "powerstone"
+        assert row["spec"]["search"]["seed"] == row["search_seed"]
+
+    def test_report_round_trips(self, tmp_path):
+        from repro.pipeline.campaign import CampaignResult
+
+        result = run_campaign(tiny_grid(families=("2-in",)), workers=1)
+        payload = json.loads(json.dumps(result.to_json()))
+        rebuilt = CampaignResult.from_json(payload)
+        # The rebuilt tasks pin the derived seed the run actually used;
+        # everything else round-trips exactly.
+        for orig, new in zip(result.rows, rebuilt.rows):
+            assert new.task == orig.task.__class__(
+                **{**orig.task.__dict__, "search_seed": orig.search_seed}
+            )
+            assert (new.base_misses, new.optimized_misses, new.removed_percent) == (
+                orig.base_misses, orig.optimized_misses, orig.removed_percent
+            )
+            assert new.search_seed == orig.search_seed
 
     def test_format_campaign(self):
         result = run_campaign(tiny_grid(families=("2-in",)), workers=1)

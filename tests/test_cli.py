@@ -165,3 +165,88 @@ class TestCommands:
              "--kind", "instruction", "--cache-kb", "1"]
         )
         assert code == 0
+
+
+class TestSpecDrivenCommands:
+    def test_spec_scaffold_round_trips_through_run(self, capsys, tmp_path):
+        spec_file = tmp_path / "exp.toml"
+        code = main([
+            "spec", "--suite", "powerstone", "--benchmark", "qurt",
+            "--scale", "tiny", "--cache-kb", "1", "-o", str(spec_file),
+        ])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["run", str(spec_file), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "spec ok: powerstone/qurt" in out and "digest:" in out
+
+    def test_spec_scaffold_to_stdout_is_valid_toml(self, capsys):
+        from repro.api import ExperimentSpec
+
+        assert main(["spec", "--benchmark", "susan", "--scale", "tiny"]) == 0
+        spec = ExperimentSpec.from_toml(capsys.readouterr().out)
+        assert spec.trace.benchmark == "susan"
+
+    def test_run_executes_spec_file(self, capsys, tmp_path):
+        spec_file = tmp_path / "exp.toml"
+        main(["spec", "--suite", "powerstone", "--benchmark", "qurt",
+              "--scale", "tiny", "--cache-kb", "1", "-o", str(spec_file)])
+        capsys.readouterr()
+        code = main(["run", str(spec_file),
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removes" in out and "s0 =" in out
+
+    def test_run_expect_cached_replay(self, capsys, tmp_path):
+        spec_file = tmp_path / "exp.toml"
+        main(["spec", "--suite", "powerstone", "--benchmark", "qurt",
+              "--scale", "tiny", "--cache-kb", "1", "-o", str(spec_file)])
+        args = ["run", str(spec_file), "--cache-dir", str(tmp_path / "cache")]
+        assert main(args + ["--expect-cached"]) == 1  # cold run recomputes
+        capsys.readouterr()
+        assert main(args + ["--expect-cached"]) == 0  # warm replay does not
+
+    def test_run_checked_in_example_spec_dry_run(self, capsys):
+        assert main(["run", "examples/experiment.toml", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "mibench/fft" in out and "family 2-in" in out
+
+    def test_run_missing_file_fails_cleanly(self, capsys):
+        assert main(["run", "/nope/missing.toml"]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+    def test_run_invalid_spec_names_field(self, capsys, tmp_path):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('[trace]\nsuite = "mibench"\nbenchmark = "nope"\n')
+        assert main(["run", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload mibench/nope" in err
+
+    def test_optimize_json_emits_report(self, capsys):
+        code = main(["optimize", "powerstone", "qurt", "--scale", "tiny",
+                     "--cache-kb", "1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-report/v1"
+        assert payload["kind"] == "optimization"
+        assert payload["spec"]["trace"]["benchmark"] == "qurt"
+
+    def test_search_json_emits_front(self, capsys):
+        code = main(["search", "powerstone", "qurt", "--scale", "tiny",
+                     "--cache-kb", "1", "--restarts", "1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "search" and len(payload["front"]) == 2
+
+    def test_campaign_json_to_stdout(self, capsys, tmp_path):
+        code = main([
+            "campaign", "--suite", "powerstone", "--benchmarks", "qurt",
+            "--cache-kb", "1", "--families", "2-in", "--scale", "tiny",
+            "--workers", "1", "--cache-dir", str(tmp_path / "cache"),
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "campaign" and len(payload["rows"]) == 1
+        assert payload["rows"][0]["spec"]["trace"]["benchmark"] == "qurt"
