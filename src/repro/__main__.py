@@ -19,6 +19,8 @@ Commands:
   artifact cache, in parallel across cores;
 * ``tables``    — regenerate the paper's tables/figures;
 * ``workloads`` — list the bundled benchmark kernels;
+* ``backends``  — list the registered compute backends and which one
+  the engine kernels dispatch to;
 * ``classify``  — three-Cs miss breakdown for a workload and cache.
 """
 
@@ -238,6 +240,28 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_backends(args: argparse.Namespace) -> int:
+    from repro.backend import BACKEND_ENV_VAR, backend_status
+
+    rows = backend_status()
+    if getattr(args, "json", False):
+        print(json.dumps({"backends": rows}, indent=2))
+        return 0
+    width = max(len(row["name"]) for row in rows)
+    for row in rows:
+        marker = "*" if row["active"] else " "
+        state = "available" if row["available"] else "unavailable"
+        print(
+            f"{marker} {row['name'].ljust(width)}  {state:<11}  "
+            f"{row['description']}"
+        )
+    print(
+        f"\n* = active (override with {BACKEND_ENV_VAR}=<name> or a "
+        "spec's execution.backend)"
+    )
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     try:
         specs = expand_grid(
@@ -442,6 +466,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_wl = sub.add_parser("workloads", help="list bundled kernels")
     p_wl.set_defaults(func=cmd_workloads)
+
+    p_be = sub.add_parser(
+        "backends", help="list compute backends and the active one"
+    )
+    p_be.add_argument(
+        "--json", action="store_true", help="emit the status rows as JSON"
+    )
+    p_be.set_defaults(func=cmd_backends)
 
     p_camp = sub.add_parser(
         "campaign",

@@ -12,6 +12,10 @@ schema, ``repro-report/v1``:
 * ``digests`` carry the spec digest, the trace content digest and the
   conflict-profile digest, tying the report to the artifact-cache keys
   its computation used;
+* ``environment`` records execution metadata — currently the compute
+  backend the kernels dispatched to.  Every backend is bit-identical,
+  so this never enters ``spec.digest`` or any cache key; it only
+  attributes timings;
 * the remaining keys are plain-JSON metrics and the constructed
   function.
 
@@ -140,6 +144,7 @@ def optimization_report(
             "profile": result.profile_digest
             or (result.profile.digest if result.profile is not None else None),
         },
+        "environment": {"backend": result.backend or None},
         "trace_name": result.trace_name,
         "family": result.family_name,
         "function": _function_to_json(result.hash_function),
@@ -181,6 +186,7 @@ def optimization_from_report(payload: Mapping[str, Any]) -> "OptimizationResult"
         spec=spec,
         trace_digest=(payload.get("digests") or {}).get("trace") or "",
         profile_digest=(payload.get("digests") or {}).get("profile") or "",
+        backend=(payload.get("environment") or {}).get("backend") or "",
     )
 
 

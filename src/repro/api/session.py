@@ -215,6 +215,20 @@ class Session:
         its artifact cache too."""
         return self.context().activate()
 
+    @property
+    def backends(self) -> list[dict]:
+        """Compute-backend status: one row per registered backend.
+
+        Rows come from :func:`repro.backend.backend_status` — ``name``,
+        ``available``, ``active``, ``priority``, ``description`` — where
+        *active* reflects the current resolution (``use_backend``
+        override, then ``REPRO_BACKEND``, then best available).  A
+        spec's ``execution.backend`` pins the choice per run instead.
+        """
+        from repro.backend import backend_status
+
+        return backend_status()
+
     def cache_stats(self) -> dict[str, dict[str, int]]:
         """Artifact-cache counters summed over the session's contexts."""
         totals: dict[str, dict[str, int]] = {}
@@ -272,6 +286,7 @@ class Session:
         :class:`~repro.core.optimizer.OptimizationResult` with the spec
         attached (``result.spec``), so ``result.to_json()`` embeds it.
         """
+        from repro.backend import use_backend
         from repro.core.optimizer import optimize_for_trace
 
         spec = ExperimentSpec.coerce(spec)
@@ -279,20 +294,22 @@ class Session:
         geometry = spec.geometry.resolve()
         family = spec.search.resolve_family(geometry.index_bits)
         context = self.context(self._effective_cache_dir(spec.execution))
-        result = optimize_for_trace(
-            trace,
-            geometry,
-            family=family,
-            n=spec.search.n,
-            guard=spec.search.guard,
-            restarts=spec.search.restarts,
-            seed=spec.search.seed,
-            max_steps=spec.search.max_steps,
-            context=context,
-            strategy=spec.search.strategy,
-        )
+        with use_backend(spec.execution.backend) as backend:
+            result = optimize_for_trace(
+                trace,
+                geometry,
+                family=family,
+                n=spec.search.n,
+                guard=spec.search.guard,
+                restarts=spec.search.restarts,
+                seed=spec.search.seed,
+                max_steps=spec.search.max_steps,
+                context=context,
+                strategy=spec.search.strategy,
+            )
         result.spec = spec
         result.trace_digest = trace.digest
+        result.backend = backend.name
         return result
 
     def campaign(

@@ -246,11 +246,17 @@ class ExecutionSpec:
 
     ``workers=None`` lets the runner pick (serial for one experiment,
     one per core for grids); ``cache_dir=None`` means in-memory unless
-    the session provides a cache.
+    the session provides a cache.  ``backend=None`` lets
+    :mod:`repro.backend` pick the compute backend (the
+    ``REPRO_BACKEND`` environment variable, then the best available);
+    naming one pins the engine kernels to it for the run.  Every
+    backend computes bit-identical results, so — like the other
+    execution fields — the choice never enters :attr:`ExperimentSpec.digest`.
     """
 
     workers: int | None = None
     cache_dir: str | None = None
+    backend: str | None = None
 
     def __post_init__(self):
         if self.workers is not None:
@@ -260,6 +266,20 @@ class ExecutionSpec:
                 f"expected a path string, got {self.cache_dir!r}",
                 field="execution.cache_dir",
             )
+        if self.backend is not None:
+            from repro.backend import backend_names
+
+            if not isinstance(self.backend, str):
+                raise SpecError(
+                    f"expected a backend name string, got {self.backend!r}",
+                    field="execution.backend",
+                )
+            if self.backend not in backend_names():
+                raise SpecError(
+                    f"unknown backend {self.backend!r}; choose from "
+                    f"{', '.join(backend_names())}",
+                    field="execution.backend",
+                )
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)

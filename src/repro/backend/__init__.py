@@ -1,0 +1,33 @@
+"""Pluggable compute backends for the sequential-replacement kernels.
+
+Importing this package registers every bundled backend (``numpy``,
+``numba`` when importable, ``python``); see
+:mod:`repro.backend.registry` for the selection rules.
+"""
+
+from repro.backend.registry import (
+    BACKEND_ENV_VAR,
+    Backend,
+    active_backend,
+    available_backends,
+    backend_names,
+    backend_status,
+    get_backend,
+    register_backend,
+    use_backend,
+)
+from repro.backend import python_backend as _python_backend  # noqa: F401
+from repro.backend import numpy_backend as _numpy_backend  # noqa: F401
+from repro.backend import numba_backend as _numba_backend  # noqa: F401
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "Backend",
+    "active_backend",
+    "available_backends",
+    "backend_names",
+    "backend_status",
+    "get_backend",
+    "register_backend",
+    "use_backend",
+]

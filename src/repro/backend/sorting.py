@@ -1,0 +1,49 @@
+"""Radix argsort for non-negative integer arrays.
+
+NumPy's ``kind="stable"`` argsort only selects its O(N) radix path for
+integer dtypes of at most 16 bits; wider integers get timsort, which is
+4-6x slower on the engine's set-id/key streams.  Sorting 16-bit digits
+least-significant first — each digit pass a stable NumPy radix argsort
+— recovers the O(N) behaviour for any width, paying only as many
+passes as the *value range* needs (one pass for set indices and the
+bench's block addresses, two for dense uint32 relabelings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stable_argsort"]
+
+_DIGIT = 16
+_DIGIT_MASK = (1 << _DIGIT) - 1
+
+
+def stable_argsort(values: np.ndarray) -> np.ndarray:
+    """Stable argsort of a non-negative integer array, radix-fast.
+
+    Equivalent to ``np.argsort(values, kind="stable")``.  Arrays that
+    are not integer-dtyped, or that contain negatives, fall back to
+    NumPy directly.
+    """
+    values = np.asarray(values)
+    if values.dtype.kind not in "ui" or len(values) == 0:
+        return np.argsort(values, kind="stable")
+    if values.dtype.itemsize <= 2:
+        return np.argsort(values, kind="stable")
+    top = int(values.max())
+    if values.dtype.kind == "i" and int(values.min()) < 0:
+        return np.argsort(values, kind="stable")
+    order = np.argsort(
+        (values & values.dtype.type(_DIGIT_MASK)).astype(np.uint16),
+        kind="stable",
+    )
+    shift = _DIGIT
+    while top >> shift:
+        digit = (
+            (values[order] >> values.dtype.type(shift))
+            & values.dtype.type(_DIGIT_MASK)
+        ).astype(np.uint16)
+        order = order[np.argsort(digit, kind="stable")]
+        shift += _DIGIT
+    return order

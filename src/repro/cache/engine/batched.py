@@ -21,7 +21,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.cache.engine.core import lru_miss_vector
+from repro.backend import active_backend
+from repro.cache.engine.core import lru_miss_vector_shared, program_order_links
 from repro.cache.geometry import CacheGeometry
 from repro.cache.stats import CacheStats
 from repro.gf2.bitvec import parity_table, parity_u64
@@ -111,6 +112,16 @@ def misses_for_index_streams(
     if count == 0 or num_candidates == 0:
         return misses
     keys = np.asarray(keys)
+    # NumPy's stable sort is radix only for <= 16-bit integers; wider
+    # rows fall back to a comparison sort (~9x slower).  Index streams
+    # carry m-bit set ids, so they almost always narrow.
+    if (
+        index_streams.dtype.kind in "ui"
+        and index_streams.dtype.itemsize > 2
+        and int(index_streams.max()) < 1 << 16
+        and (index_streams.dtype.kind == "u" or int(index_streams.min()) >= 0)
+    ):
+        index_streams = index_streams.astype(np.uint16)
     rows_per_chunk = max(1, CHUNK_ELEMENTS // count)
     for lo in range(0, num_candidates, rows_per_chunk):
         ids = index_streams[lo : lo + rows_per_chunk]
@@ -176,11 +187,23 @@ def evaluate_many(
                 expanded, inverse
             )
     else:
+        # Shared per-trace precomputation: equal keys imply equal set
+        # ids under every candidate, so the same-key occurrence links
+        # are candidate-independent — one key sort serves the whole
+        # front, and each candidate pays only its set-grouping sort
+        # plus the backend depth kernel.
+        prev_program, next_program = program_order_links(inverse)
+        backend = active_backend()
         miss_counts = [
             int(
                 np.count_nonzero(
-                    lru_miss_vector(
-                        unique_streams[k][inverse], inverse, geometry.associativity
+                    lru_miss_vector_shared(
+                        unique_streams[k][inverse],
+                        inverse,
+                        prev_program,
+                        next_program,
+                        geometry.associativity,
+                        backend,
                     )
                 )
             )

@@ -16,21 +16,31 @@ one contract.  The replacement behaviour is bit-identical to the scalar
 reference simulators kept in :mod:`repro.cache.direct_mapped`,
 :mod:`repro.cache.set_assoc`, :mod:`repro.cache.fully_assoc` and
 :mod:`repro.cache.skewed`.
+
+The sequential-replacement inner kernels (the LRU stack-depth test and
+the skewed replay) dispatch through :mod:`repro.backend` — the common
+work (set grouping, occurrence links, victim draws) happens here once,
+in NumPy, regardless of the backend.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from collections.abc import Sequence
 
 import numpy as np
 
+from repro.backend import Backend, active_backend
+from repro.backend.sorting import stable_argsort
+
 __all__ = [
     "direct_mapped_miss_vector",
     "lru_miss_vector",
+    "lru_miss_vector_shared",
+    "program_order_links",
     "skewed_miss_vector",
     "compulsory_count",
     "group_by_set",
+    "occurrence_links",
 ]
 
 
@@ -65,7 +75,7 @@ def group_by_set(set_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarra
     and in program order; ``starts[g]:ends[g]`` delimits group ``g`` in
     that permutation.
     """
-    order = np.argsort(set_ids, kind="stable")
+    order = stable_argsort(set_ids)
     sorted_ids = set_ids[order]
     boundaries = np.flatnonzero(sorted_ids[1:] != sorted_ids[:-1]) + 1
     starts = np.concatenate([np.zeros(1, dtype=np.intp), boundaries])
@@ -73,14 +83,170 @@ def group_by_set(set_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarra
     return order, starts, ends
 
 
-def lru_miss_vector(set_ids: np.ndarray, keys: np.ndarray, ways: int) -> np.ndarray:
+def occurrence_links(
+    grouped_set_ids: np.ndarray, grouped_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Previous/next same-(set, key) occurrence links, grouped coords.
+
+    Both inputs must already be in grouped coordinates (sets
+    contiguous, program order inside each set — the permutation from
+    :func:`group_by_set`).  ``prev[t] < 0`` marks a set-local first
+    touch.  A slot whose key never recurs gets ``nxt[t]`` = the *end of
+    its set's span* rather than a global sentinel: past its set's last
+    access the slot can never participate in a reuse interval again, so
+    this tighter horizon lets chunked kernels expire whole sets from
+    their carried state (a global sentinel would keep one slot per
+    distinct (set, key) pair alive forever).
+
+    One stable argsort of the keys clusters equal keys; inside each
+    cluster, grouped positions ascend, which keeps equal (key, set)
+    pairs contiguous and in program order — so consecutive sort
+    positions with equal key *and* equal set are exactly the
+    (previous, current) occurrence pairs.  The set comparison matters:
+    the same key may legally appear under several set identities (the
+    key only needs to be unique within a set).
+    """
+    count = len(grouped_keys)
+    # 32-bit links halve the traffic of every downstream pass; the
+    # sentinel needs count + 1 to stay representable.
+    dtype = np.int32 if count < (1 << 31) - 2 else np.int64
+    prev = np.full(count, -1, dtype=dtype)
+    if count == 0:
+        return prev, np.full(count, count, dtype=dtype)
+    single_set = bool(grouped_set_ids[0] == grouped_set_ids[-1])
+    if single_set:
+        nxt = np.full(count, count, dtype=dtype)
+    else:
+        boundaries = (
+            np.flatnonzero(grouped_set_ids[1:] != grouped_set_ids[:-1]) + 1
+        )
+        span_ends = np.append(boundaries, count).astype(dtype, copy=False)
+        widths = np.diff(np.concatenate([np.zeros(1, dtype=dtype), span_ends]))
+        nxt = np.repeat(span_ends, widths)
+    keys_cmp = _narrow(grouped_keys)
+    korder = stable_argsort(keys_cmp)
+    keys_in_order = keys_cmp[korder]
+    repeat = np.empty(count, dtype=bool)
+    repeat[0] = False
+    np.equal(keys_in_order[1:], keys_in_order[:-1], out=repeat[1:])
+    if not single_set:
+        sets_in_order = _narrow(grouped_set_ids)[korder]
+        repeat[1:] &= sets_in_order[1:] == sets_in_order[:-1]
+    # Scatter the full consecutive-sort-position pairing, then repair
+    # the few group boundaries: repeats vastly outnumber first/last
+    # occurrences, so two dense scatters beat materializing the repeat
+    # index set.  ``firsts`` always starts with sort position 0.
+    firsts = np.flatnonzero(~repeat)
+    lasts_idx = korder[np.append(firsts[1:], count) - 1]
+    span_sentinels = nxt[lasts_idx]
+    nxt[korder[:-1]] = korder[1:]
+    nxt[lasts_idx] = span_sentinels
+    prev[korder[1:]] = korder[:-1]
+    prev[korder[firsts]] = -1
+    return prev, nxt
+
+
+def _narrow(values: np.ndarray) -> np.ndarray:
+    """Narrow a non-negative integer array to the smallest sort dtype.
+
+    Any injective relabeling preserves the equal-runs-and-program-order
+    structure :func:`occurrence_links` needs from the key sort, and a
+    16-bit dtype both halves gather traffic and lets NumPy's native
+    radix argsort take over.  Arrays that do not fit come back as-is.
+    """
+    if values.dtype.kind not in "ui" or values.dtype.itemsize <= 2 or not len(values):
+        return values
+    top = int(values.max())
+    if values.dtype.kind == "i" and int(values.min()) < 0:
+        return values
+    if top < 1 << 16:
+        return values.astype(np.uint16)
+    if top < 1 << 32 and values.dtype.itemsize > 4:
+        return values.astype(np.uint32)
+    return values
+
+
+def lru_miss_vector(
+    set_ids: np.ndarray | None,
+    keys: np.ndarray,
+    ways: int,
+    backend: Backend | None = None,
+) -> np.ndarray:
     """Miss vector for an LRU set-associative cache.
 
-    Sets are independent, so accesses are grouped per set (one
-    vectorized stable sort) and the LRU scan runs over each set's tiny
-    subsequence instead of the whole trace.  The per-group scan works on
-    a plain Python list (one bulk conversion) rather than indexing the
-    numpy array element by element.
+    LRU is a stack algorithm, so an access hits iff it is a reaccess
+    whose LRU stack depth within its set — the number of distinct other
+    keys touched in the set since its previous occurrence — is below
+    the associativity.  The depth test runs on the active compute
+    backend over occurrence links built here in grouped coordinates;
+    everything else (grouping, links, scatter back to program order) is
+    one-pass NumPy regardless of backend.
+
+    ``set_ids=None`` declares a single-set (fully-associative) cache:
+    program order already is grouped order, so the grouping sort and
+    the permutation gathers/scatter drop out entirely.
+    """
+    if ways < 1:
+        raise ValueError(f"ways must be >= 1, got {ways}")
+    count = len(keys)
+    if set_ids is None:
+        if ways == 1:
+            return lru_miss_vector(np.zeros(count, dtype=np.uint8), keys, 1)
+        if count == 0:
+            return np.zeros(0, dtype=bool)
+        sole = np.zeros(1, dtype=np.uint8)
+        prev, nxt = occurrence_links(np.broadcast_to(sole, (count,)), keys)
+        if backend is None:
+            backend = active_backend()
+        return (prev < 0) | backend.lru_depth_at_least(prev, nxt, ways)
+    if ways == 1:
+        return direct_mapped_miss_vector(set_ids, keys)
+    if count == 0:
+        return np.zeros(0, dtype=bool)
+    order = stable_argsort(set_ids)
+    prev, nxt = occurrence_links(set_ids[order], keys[order])
+    if backend is None:
+        backend = active_backend()
+    deep = backend.lru_depth_at_least(prev, nxt, ways)
+    misses = np.empty(count, dtype=bool)
+    misses[order] = (prev < 0) | deep
+    return misses
+
+
+def program_order_links(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Same-key occurrence links in program order.
+
+    ``prev[t]`` is the previous access with the same key (``-1`` on
+    first touch); ``nxt[t]`` the next (``count`` when the key never
+    recurs).  One stable key sort — reusable by
+    :func:`lru_miss_vector_shared` across every candidate index
+    function of a batch, because the links never look at set ids.
+    """
+    count = len(keys)
+    sole = np.zeros(1, dtype=np.uint8)
+    return occurrence_links(np.broadcast_to(sole, (count,)), keys)
+
+
+def lru_miss_vector_shared(
+    set_ids: np.ndarray,
+    keys: np.ndarray,
+    prev_program: np.ndarray,
+    next_program: np.ndarray,
+    ways: int,
+    backend: Backend | None = None,
+) -> np.ndarray:
+    """:func:`lru_miss_vector` reusing precomputed program-order links.
+
+    ``prev_program``/``next_program`` come from
+    :func:`program_order_links` over the same ``keys``.  Valid whenever
+    equal keys imply equal set ids — true for every indexing function
+    over one block stream, since the set index is a function of the
+    block address.  All occurrences of a key then share a set and sit
+    in program order within its group, so the grouped-coordinate links
+    are just the program-order links pushed through the grouping
+    permutation — two gathers instead of the per-candidate key sort
+    :func:`occurrence_links` would pay.  Batched evaluation over K
+    candidates pays one key sort total instead of K.
     """
     if ways < 1:
         raise ValueError(f"ways must be >= 1, got {ways}")
@@ -89,40 +255,48 @@ def lru_miss_vector(set_ids: np.ndarray, keys: np.ndarray, ways: int) -> np.ndar
     count = len(set_ids)
     if count == 0:
         return np.zeros(0, dtype=bool)
-    order, starts, ends = group_by_set(set_ids)
-    key_list = keys[order].tolist()
-    flags: list[bool] = []
-    for start, end in zip(starts.tolist(), ends.tolist()):
-        lru: OrderedDict = OrderedDict()
-        move_to_end = lru.move_to_end
-        pop_oldest = lru.popitem
-        for i in range(start, end):
-            key = key_list[i]
-            if key in lru:
-                move_to_end(key)
-                flags.append(False)
-            else:
-                if len(lru) >= ways:
-                    pop_oldest(last=False)
-                lru[key] = None
-                flags.append(True)
+    order = stable_argsort(set_ids)
+    dtype = prev_program.dtype
+    # One extra slot absorbs both sentinels during the gathers: index
+    # ``-1`` (first touch) wraps to it and index ``count`` (key never
+    # recurs) lands on it, so no clipping pass is needed before the
+    # fancy indexing — the sentinel positions are repaired afterwards.
+    inv = np.empty(count + 1, dtype=dtype)
+    inv[order] = np.arange(count, dtype=dtype)
+    sorted_ids = set_ids[order]
+    boundaries = np.flatnonzero(sorted_ids[1:] != sorted_ids[:-1]) + 1
+    span_ends = np.append(boundaries, count).astype(dtype, copy=False)
+    widths = np.diff(np.concatenate([np.zeros(1, dtype=dtype), span_ends]))
+    span_of = np.repeat(span_ends, widths)
+    pp = prev_program[order]
+    prev = inv[pp]
+    first = pp < 0
+    prev[first] = -1
+    pn = next_program[order]
+    nxt = np.where(pn >= count, span_of, inv[pn])
+    if backend is None:
+        backend = active_backend()
+    deep = backend.lru_depth_at_least(prev, nxt, ways)
     misses = np.empty(count, dtype=bool)
-    misses[order] = np.array(flags, dtype=bool)
+    misses[order] = first | deep
     return misses
 
 
 def skewed_miss_vector(
-    bank_set_ids: Sequence[np.ndarray], keys: np.ndarray, seed: int = 0
+    bank_set_ids: Sequence[np.ndarray],
+    keys: np.ndarray,
+    seed: int = 0,
+    num_sets: int | None = None,
+    backend: Backend | None = None,
 ) -> np.ndarray:
     """Miss vector for a skewed cache (one frame per set per bank).
 
-    Banks share state through the victim choice, so the scan is
-    inherently sequential; the engine keeps it fast by precomputing
-    every bank's index stream (vectorized upstream), drawing all victim
-    choices in one RNG call, and bulk-converting the streams to Python
-    lists so the inner loop does no numpy scalar access.  Victim
-    consumption matches the reference simulator, so results are
-    bit-identical under the same seed.
+    Banks share state through the victim choice, so the replay is
+    inherently sequential; victim choices are positional (one RNG draw
+    per access up front, consumed by index), which both matches the
+    reference simulator bit for bit and lets the NumPy backend replay
+    speculatively.  ``num_sets`` bounds the per-bank set identities;
+    when omitted it is inferred from the streams.
     """
     num_banks = len(bank_set_ids)
     if num_banks < 2:
@@ -131,22 +305,21 @@ def skewed_miss_vector(
     if count == 0:
         return np.zeros(0, dtype=bool)
     rng = np.random.default_rng(seed)
-    victims = rng.integers(0, num_banks, size=count).tolist()
-    id_lists = [np.asarray(ids).tolist() for ids in bank_set_ids]
-    key_list = keys.tolist()
-    banks: list[dict] = [{} for _ in range(num_banks)]
-    flags: list[bool] = []
-    for i in range(count):
-        key = key_list[i]
-        for b in range(num_banks):
-            if banks[b].get(id_lists[b][i]) == key:
-                flags.append(False)
-                break
-        else:
-            flags.append(True)
-            victim = victims[i]
-            banks[victim][id_lists[victim][i]] = key
-    return np.array(flags, dtype=bool)
+    victims = rng.integers(0, num_banks, size=count)
+    # Keep the streams' native (usually narrow) dtype — the backends
+    # narrow or widen as their kernels need.
+    ids = np.stack([np.asarray(stream) for stream in bank_set_ids])
+    if num_sets is None:
+        num_sets = int(ids.max()) + 1
+    keys = np.ascontiguousarray(np.asarray(keys, dtype=np.uint64))
+    if backend is None:
+        backend = active_backend()
+    return backend.skewed_misses(ids, keys, victims, num_sets)
+
+
+#: Largest key value the distinct count handles with a dense scatter
+#: (a 16 MB boolean table) instead of a full sort.
+_DENSE_KEY_LIMIT = 1 << 24
 
 
 def compulsory_count(keys: np.ndarray) -> int:
@@ -155,5 +328,16 @@ def compulsory_count(keys: np.ndarray) -> int:
     Every organization in the package identifies blocks exactly (tags
     are bijective given the set index), so the first access to a block
     always misses and the compulsory count is the distinct-block count.
+    Small key universes count through one boolean scatter; anything
+    wider falls back to ``np.unique``'s sort.
     """
-    return int(np.unique(keys).size) if len(keys) else 0
+    if not len(keys):
+        return 0
+    keys = np.asarray(keys)
+    if keys.dtype.kind in "ui":
+        low = int(keys.min()) if keys.dtype.kind == "i" else 0
+        if low >= 0 and int(keys.max()) < _DENSE_KEY_LIMIT:
+            seen = np.zeros(int(keys.max()) + 1, dtype=bool)
+            seen[keys] = True
+            return int(np.count_nonzero(seen))
+    return int(np.unique(keys).size)

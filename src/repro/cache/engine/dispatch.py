@@ -56,11 +56,14 @@ def simulate(
     blocks = np.asarray(blocks, dtype=np.uint64)
     if len(blocks) == 0:
         return CacheStats(accesses=0, misses=0)
-    set_ids = indexing.set_index_array(blocks)
     if geometry.is_direct_mapped:
-        misses = direct_mapped_miss_vector(set_ids, blocks)
+        misses = direct_mapped_miss_vector(indexing.set_index_array(blocks), blocks)
+    elif geometry.num_sets == 1:
+        misses = lru_miss_vector(None, blocks, geometry.associativity)
     else:
-        misses = lru_miss_vector(set_ids, blocks, geometry.associativity)
+        misses = lru_miss_vector(
+            indexing.set_index_array(blocks), blocks, geometry.associativity
+        )
     return stats_from_misses(blocks, misses)
 
 
@@ -75,8 +78,7 @@ def simulate_capacity(blocks: np.ndarray, capacity_blocks: int) -> CacheStats:
     blocks = np.asarray(blocks, dtype=np.uint64)
     if len(blocks) == 0:
         return CacheStats(accesses=0, misses=0)
-    set_ids = np.zeros(len(blocks), dtype=np.uint8)
-    misses = lru_miss_vector(set_ids, blocks, capacity_blocks)
+    misses = lru_miss_vector(None, blocks, capacity_blocks)
     return stats_from_misses(blocks, misses)
 
 
@@ -96,5 +98,5 @@ def simulate_banks(
     if len(bank_indexings) >= 2 and len(blocks) == 0:
         return CacheStats(accesses=0, misses=0)
     bank_ids = [policy.set_index_array(blocks) for policy in bank_indexings]
-    misses = skewed_miss_vector(bank_ids, blocks, seed=seed)
+    misses = skewed_miss_vector(bank_ids, blocks, seed=seed, num_sets=sets)
     return stats_from_misses(blocks, misses)

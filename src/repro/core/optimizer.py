@@ -61,6 +61,11 @@ class OptimizationResult:
     #: Digest of the conflict profile the search ran on; kept separate
     #: so report round trips survive dropping the profile itself.
     profile_digest: str = ""
+    #: Name of the compute backend the engine kernels dispatched to,
+    #: recorded by the spec-driven entry points.  Execution metadata
+    #: only — every backend computes bit-identical results — so it is
+    #: excluded from equality like the spec.
+    backend: str = field(default="", compare=False)
 
     @property
     def removed_percent(self) -> float:

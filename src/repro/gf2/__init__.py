@@ -11,6 +11,14 @@ from repro.gf2.batched import (
     reduce_by_basis,
     rref_basis,
 )
+from repro.gf2.bitpack import (
+    pack_bit_planes,
+    pack_bits,
+    packed_parity_rows,
+    popcount_rows,
+    unpack_bits,
+    weighted_popcount,
+)
 from repro.gf2.bitvec import (
     bits_of,
     dot,
@@ -44,6 +52,12 @@ __all__ = [
     "high_bit_index",
     "reduce_by_basis",
     "rref_basis",
+    "pack_bit_planes",
+    "pack_bits",
+    "packed_parity_rows",
+    "popcount_rows",
+    "unpack_bits",
+    "weighted_popcount",
     "bits_of",
     "dot",
     "from_bits",

@@ -25,6 +25,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.gf2.bitpack import (
+    pack_bit_planes,
+    packed_parity_rows,
+    unpack_bits,
+    weighted_popcount,
+)
 from repro.gf2.bitvec import parity_array, parity_table
 from repro.gf2.hashfn import XorHashFunction
 from repro.profiling.conflict_profile import ConflictProfile
@@ -147,12 +153,20 @@ class MissEstimator:
       gather.
 
     Works for any window width: windows beyond the 16-bit parity table
-    evaluate through :func:`repro.gf2.bitvec.parity_array`.
+    evaluate through the bit-packed plane kernels of
+    :mod:`repro.gf2.bitpack` (64 support vectors per machine word),
+    falling back to :func:`repro.gf2.bitvec.parity_array` for workloads
+    too small to amortize the packing transpose.
     """
 
     #: Bound on ``candidates x residue-vectors`` elements materialized at
     #: once by the batched evaluation (the int64 product stays ~32 MB).
     CHUNK_ELEMENTS = 1 << 22
+
+    #: Smallest ``candidates x residue-vectors`` workload the wide-window
+    #: paths bit-pack.  Below it the per-call :func:`pack_bit_planes`
+    #: transpose dominates and the elementwise parity kernel wins.
+    PACKED_MIN_ELEMENTS = 1 << 12
 
     def __init__(self, profile: ConflictProfile):
         self.profile = profile
@@ -161,6 +175,9 @@ class MissEstimator:
         self._vectors = vectors.astype(_support_dtype(profile.n))
         self._weights = weights.astype(np.int64)
         self._table = parity_table() if profile.n <= _PARITY_TABLE_BITS else None
+        # Bit-plane packing of the full support, built on first use by
+        # the wide-window (n > 16) paths; narrow windows never pay for it.
+        self._planes: np.ndarray | None = None
         self.evaluations = 0
         # Parity rows over the support keyed by column mask (~64 MB cap;
         # a search only ever touches a few hundred distinct masks).
@@ -195,18 +212,11 @@ class MissEstimator:
         candidates = np.asarray(candidates, dtype=vectors.dtype)
         out = np.zeros(len(candidates), dtype=np.int64)
         if len(vectors):
-            # One 2-D parity gather per chunk: parity of every
-            # (candidate, residue-vector) pair at once.  A vector
-            # survives a candidate column when the parity is 0, so its
-            # weight is the residue total minus the odd-parity weight.
+            # A vector survives a candidate column when the parity is 0,
+            # so its weight is the residue total minus the odd-parity
+            # weight summed by the routed batch kernel.
             total = int(weights.sum())
-            rows = max(1, self.CHUNK_ELEMENTS // len(vectors))
-            table = self._table
-            for lo in range(0, len(candidates), rows):
-                chunk = candidates[lo : lo + rows]
-                masked = chunk[:, None] & vectors[None, :]
-                odd = table[masked] if table is not None else parity_array(masked)
-                out[lo : lo + rows] = total - odd.astype(np.int64) @ weights
+            out[:] = total - self._odd_weights(candidates, vectors, weights)
         self.evaluations += len(candidates)
         return out
 
@@ -293,13 +303,42 @@ class MissEstimator:
             total = int(sub_weights.sum())
             mine = np.nonzero(row_ids == row_id)[0]
             group = candidates[mine]
-            rows = max(1, self.CHUNK_ELEMENTS // len(sub_vectors))
-            for lo in range(0, len(group), rows):
-                chunk = group[lo : lo + rows]
-                odd = self._parity(chunk[:, None] & sub_vectors[None, :])
-                out[mine[lo : lo + rows]] = (
-                    total - odd.astype(np.int64) @ sub_weights
+            out[mine] = total - self._odd_weights(group, sub_vectors, sub_weights)
+        return out
+
+    def _odd_weights(
+        self, candidates: np.ndarray, vectors: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """Weight of odd-parity vectors under each candidate mask.
+
+        The batch kernel behind both neighbourhood evaluators.  Narrow
+        windows (n <= 16) run the 2-D parity-table gather; wide windows
+        bit-pack the residue once (:func:`pack_bit_planes`) and evaluate
+        each candidate as plane XORs plus one weighted popcount —
+        unless the workload is too small to amortize the packing
+        transpose (:attr:`PACKED_MIN_ELEMENTS`), where the elementwise
+        :func:`parity_array` kernel stays cheaper.  Both routes are
+        exact, so the choice is purely a performance one.
+        """
+        out = np.empty(len(candidates), dtype=np.int64)
+        if len(candidates) == 0:
+            return out
+        rows = max(1, self.CHUNK_ELEMENTS // max(len(vectors), 1))
+        if (
+            self._table is None
+            and len(candidates) * len(vectors) >= self.PACKED_MIN_ELEMENTS
+        ):
+            planes = pack_bit_planes(vectors, self.n)
+            for lo in range(0, len(candidates), rows):
+                packed = packed_parity_rows(planes, candidates[lo : lo + rows])
+                out[lo : lo + rows] = weighted_popcount(
+                    packed, weights, len(vectors)
                 )
+            return out
+        for lo in range(0, len(candidates), rows):
+            chunk = candidates[lo : lo + rows]
+            odd = self._parity(chunk[:, None] & vectors[None, :])
+            out[lo : lo + rows] = odd.astype(np.int64) @ weights
         return out
 
     def _parity(self, masked: np.ndarray) -> np.ndarray:
@@ -309,16 +348,34 @@ class MissEstimator:
         return parity_array(masked)
 
     def _parity_row(self, column: int) -> np.ndarray:
-        """Memoized parity of the whole support under one column mask."""
+        """Memoized parity of the whole support under one column mask.
+
+        Wide windows read the row off the bit-plane packing of the
+        support — ``popcount(column)`` word-wide XOR passes plus one
+        unpack — instead of a full-width masked parity pass.
+        """
         row = self._parity_rows.get(column)
         if row is None:
             if len(self._parity_rows) >= self._parity_row_limit:
                 self._parity_rows.clear()
-            row = self._parity(
-                self._vectors & self._vectors.dtype.type(column)
-            )
+            if self._table is None and len(self._vectors):
+                packed = packed_parity_rows(
+                    self._support_planes(),
+                    np.asarray([column], dtype=np.uint64),
+                )
+                row = unpack_bits(packed, len(self._vectors))[0]
+            else:
+                row = self._parity(
+                    self._vectors & self._vectors.dtype.type(column)
+                )
             self._parity_rows[column] = row
         return row
+
+    def _support_planes(self) -> np.ndarray:
+        """Bit-plane packing of the full support, built once on demand."""
+        if self._planes is None:
+            self._planes = pack_bit_planes(self._vectors, self.n)
+        return self._planes
 
     def _costs_with_column_replaced_loop(
         self, columns: tuple[int, ...], column_index: int, candidates: np.ndarray

@@ -49,13 +49,17 @@ GOLDEN_CASES = {
 
 
 def normalize(payload):
-    """Zero the volatile fields (timings, host paths) recursively."""
+    """Zero the volatile fields (timings, host paths, backend) recursively."""
     if isinstance(payload, dict):
         out = {}
         for key, value in payload.items():
             if key == "seconds":
                 out[key] = 0.0
             elif key == "cache_dir":
+                out[key] = None
+            elif key == "backend":
+                # Execution metadata: which compute backend ran the
+                # kernels varies by host (e.g. the Numba CI entry).
                 out[key] = None
             else:
                 out[key] = normalize(value)

@@ -101,6 +101,32 @@ class TestOptimize:
         assert (tmp_path / "store").exists()
 
 
+class TestBackends:
+    def test_session_exposes_backend_status(self):
+        rows = Session().backends
+        names = {row["name"] for row in rows}
+        assert {"numpy", "python", "numba"} <= names
+        assert sum(row["active"] for row in rows) == 1
+
+    def test_execution_backend_pins_the_run_and_is_reported(self):
+        spec = tiny_spec().with_execution(backend="python")
+        result = Session().optimize(spec)
+        assert result.backend == "python"
+        assert result.to_json()["environment"]["backend"] == "python"
+        # bit-identity across backends: same function, same stats
+        default = Session().optimize(tiny_spec())
+        assert default.hash_function == result.hash_function
+        assert default.optimized == result.optimized
+
+    def test_backend_never_enters_the_digest(self):
+        spec = tiny_spec()
+        assert spec.with_execution(backend="python").digest == spec.digest
+
+    def test_unknown_backend_is_a_spec_error(self):
+        with pytest.raises(SpecError, match="unknown backend"):
+            tiny_spec().with_execution(backend="fortran")
+
+
 class TestCampaignAndSweep:
     def test_campaign_matches_optimize(self, tmp_path):
         specs = [tiny_spec("qurt"), tiny_spec("fir")]

@@ -34,6 +34,30 @@ class TestCommands:
         assert "mibench:" in out and "powerstone:" in out
         assert "rijndael" in out and "ucbqsort" in out
 
+    def test_backends_lists_registry(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy" in out and "python" in out and "numba" in out
+        assert "* " in out  # exactly one active marker line
+        assert "REPRO_BACKEND" in out
+
+    def test_backends_json(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["backends"]
+        names = {row["name"] for row in rows}
+        assert {"numpy", "python", "numba"} <= names
+        assert sum(row["active"] for row in rows) == 1
+        active = next(row for row in rows if row["active"])
+        assert active["available"]
+
+    def test_backends_env_override(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        active = next(row for row in payload["backends"] if row["active"])
+        assert active["name"] == "python"
+
     def test_optimize_runs(self, capsys):
         code = main(
             ["optimize", "powerstone", "qurt", "--scale", "tiny", "--cache-kb", "1"]
