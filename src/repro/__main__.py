@@ -13,6 +13,9 @@ Commands:
 * ``run``       — execute a TOML/JSON experiment-spec file;
 * ``spec``      — scaffold an experiment-spec file from flags;
 * ``optimize``  — construct an index function for a bundled workload;
+* ``profile``   — conflict-vector profile (Fig. 1) for a workload or an
+  on-disk trace file, optionally through the sharded out-of-core
+  driver (``--shard-size`` / ``--workers``);
 * ``search``    — run the estimate-only search (any strategy, any
   restart count) without the exact verification replay;
 * ``campaign``  — run a benchmark x cache x family grid through the
@@ -42,10 +45,11 @@ from repro.api import (
     TraceSpec,
     expand_grid,
 )
-from repro.api.report import search_report
+from repro.api.report import profile_report, search_report
 from repro.cache.classify import classify_misses
 from repro.pipeline import PipelineContext, default_cache_dir, format_campaign
 from repro.search.families import FAMILY_CHOICES
+from repro.trace import TRACE_FORMATS
 from repro.workloads import SUITES, get_workload, workload_names
 from repro.workloads.registry import SCALES, TRACE_KINDS
 
@@ -147,6 +151,104 @@ def cmd_search(args: argparse.Namespace) -> int:
               f"{result.seconds:.2f}s{marker}")
     print()
     print(best.function.describe())
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    try:
+        if args.trace_file is not None:
+            if args.suite or args.name:
+                raise SpecError(
+                    "profile takes either a registry workload (suite + "
+                    "name) or --trace-file, not both",
+                    field="trace.path",
+                )
+            trace_spec = TraceSpec(
+                path=args.trace_file, format=args.format, kind=args.kind
+            )
+        else:
+            if not args.suite or not args.name:
+                raise SpecError(
+                    "name a workload (repro profile <suite> <name>) or an "
+                    "on-disk trace (--trace-file PATH)"
+                )
+            if args.format:
+                raise SpecError(
+                    "--format only applies to --trace-file",
+                    field="trace.format",
+                )
+            trace_spec = TraceSpec(
+                suite=args.suite, benchmark=args.name, kind=args.kind,
+                scale=args.scale, seed=args.seed,
+            )
+        spec = ExperimentSpec(
+            trace=trace_spec,
+            geometry=GeometrySpec(
+                cache_bytes=args.cache_kb * 1024, block_size=args.block_size
+            ),
+            search=SearchSpec(n=args.n),
+            execution=ExecutionSpec(
+                shard_size=args.shard_size, workers=args.workers,
+                cache_dir=args.cache_dir,
+            ),
+        )
+        trace = spec.trace.resolve()
+    except SpecError as error:
+        return _fail(error)
+    geometry = spec.geometry.resolve()
+    session = Session(cache_dir=args.cache_dir, workers=args.workers)
+    context = session.context()
+    sharded = None
+    if spec.execution.shard_size is not None:
+        sharded = context.profile_sharded(
+            trace, geometry, spec.search.n,
+            shard_size=spec.execution.shard_size,
+            workers=spec.execution.workers,
+        )
+        profile = sharded.profile
+    else:
+        profile = context.profile(trace, geometry, spec.search.n)
+    if args.json:
+        _print_report(
+            profile_report(
+                spec, profile, trace_digest=trace.digest, sharded=sharded
+            )
+        )
+    else:
+        print(f"{trace.name or spec.trace.label} @ {geometry}, "
+              f"window n={spec.search.n}")
+        print(f"  accesses:         {profile.accesses}")
+        print(f"  compulsory:       {profile.compulsory}")
+        print(f"  capacity:         {profile.capacity}")
+        print(f"  beyond window:    {profile.beyond_window}")
+        print(f"  conflict weight:  {profile.total_weight} over "
+              f"{profile.num_distinct_vectors} distinct vectors")
+        if sharded is not None:
+            print(f"  sharding:         {len(sharded.plan)} shard(s) x "
+                  f"{sharded.plan.shard_size} accesses, "
+                  f"workers {sharded.workers}, "
+                  f"{sharded.recomputed_shards} recomputed / "
+                  f"{sharded.cached_shards} cached, {sharded.seconds:.2f}s")
+    if args.expect_cached:
+        if sharded is not None:
+            cached = sharded.fully_cached
+            detail = (f"{sharded.recomputed_shards} shard(s) and "
+                      f"{sharded.recomputed_scans} scan(s) recomputed")
+        else:
+            totals = context.cache_stats()
+            recomputed = sum(
+                per_kind.get("misses", 0) + per_kind.get("stores", 0)
+                for per_kind in totals.values()
+            )
+            cached = args.cache_dir is not None and recomputed == 0
+            detail = str(totals or "no cache directory")
+        if not cached:
+            print(
+                "FAIL: expected a fully cached replay but artifacts were "
+                f"recomputed ({detail})",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -430,6 +532,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the repro-report/v1 result to stdout",
     )
     p_opt.set_defaults(func=cmd_optimize)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="conflict-vector profile (Fig. 1) for a workload or trace file",
+    )
+    p_prof.add_argument(
+        "suite", nargs="?", choices=sorted(SUITES), default=None,
+        help="benchmark suite (omit when using --trace-file)",
+    )
+    p_prof.add_argument(
+        "name", nargs="?", default=None,
+        help="kernel name (see `workloads`)",
+    )
+    p_prof.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="profile an on-disk trace instead of a registry workload "
+             "(.bin memory-maps out of core; npz/text/dinero/lackey load "
+             "through their readers)",
+    )
+    p_prof.add_argument(
+        "--format", default=None, choices=TRACE_FORMATS,
+        help="trace-file format (default: inferred from the suffix)",
+    )
+    p_prof.add_argument(
+        "--kind", choices=TRACE_KINDS, default="data",
+        help="which address stream to use",
+    )
+    p_prof.add_argument("--scale", choices=SCALES, default="small")
+    p_prof.add_argument("--seed", type=int, default=0, help="workload seed")
+    p_prof.add_argument("--cache-kb", type=int, default=4, help="cache size in KB")
+    p_prof.add_argument("--block-size", type=int, default=4)
+    p_prof.add_argument(
+        "--n", type=int, default=16,
+        help="conflict-window length (paper's n)",
+    )
+    p_prof.add_argument(
+        "--shard-size", type=int, default=None,
+        help="run the out-of-core sharded driver with this many "
+             "accesses per shard (bit-identical to the single pass)",
+    )
+    p_prof.add_argument(
+        "--workers", type=int, default=None,
+        help="process count for sharded profiling (1 = serial)",
+    )
+    p_prof.add_argument(
+        "--cache-dir", default=None,
+        help="read/write per-shard artifacts at this directory",
+    )
+    p_prof.add_argument(
+        "--json", action="store_true",
+        help="emit the repro-report/v1 profile report to stdout",
+    )
+    p_prof.add_argument(
+        "--expect-cached", action="store_true",
+        help="exit non-zero if any shard had to be (re)computed "
+             "(CI warm-cache check)",
+    )
+    p_prof.set_defaults(func=cmd_profile)
 
     p_search = sub.add_parser(
         "search",

@@ -25,6 +25,7 @@ from repro.api.report import (
     campaign_report,
     optimization_from_report,
     optimization_report,
+    profile_report,
     specs_from_report,
 )
 from repro.api.session import Session, expand_grid, spec_to_task, task_to_spec
@@ -52,5 +53,6 @@ __all__ = [
     "optimization_from_report",
     "campaign_report",
     "campaign_from_report",
+    "profile_report",
     "specs_from_report",
 ]

@@ -42,6 +42,7 @@ __all__ = [
     "optimization_report",
     "optimization_from_report",
     "search_report",
+    "profile_report",
     "row_report",
     "row_from_report",
     "campaign_report",
@@ -191,6 +192,54 @@ def optimization_from_report(payload: Mapping[str, Any]) -> "OptimizationResult"
 
 
 # -- estimate-only search ---------------------------------------------------
+
+def profile_report(
+    spec: ExperimentSpec,
+    profile,
+    trace_digest: str | None = None,
+    sharded=None,
+    top_k: int = 8,
+) -> dict[str, Any]:
+    """The ``kind="profile"`` report for a profiling-only run.
+
+    ``sharded`` is the optional
+    :class:`~repro.profiling.sharded.ShardedProfileResult` when the
+    out-of-core driver ran; its execution statistics land under a
+    ``sharding`` key (``null`` for single-pass runs).
+    """
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "kind": "profile",
+        "spec": spec.to_dict(),
+        "digests": {
+            "spec": spec.digest,
+            "trace": trace_digest,
+            "profile": profile.digest,
+        },
+        "profile": {
+            "n": profile.n,
+            "accesses": profile.accesses,
+            "compulsory": profile.compulsory,
+            "capacity": profile.capacity,
+            "beyond_window": profile.beyond_window,
+            "total_weight": profile.total_weight,
+            "distinct_vectors": profile.num_distinct_vectors,
+            "top_vectors": [[v, c] for v, c in profile.top_vectors(top_k)],
+        },
+        "sharding": None,
+    }
+    if sharded is not None:
+        payload["sharding"] = {
+            "shard_size": sharded.plan.shard_size,
+            "shards": len(sharded.plan),
+            "workers": sharded.workers,
+            "recomputed_shards": sharded.recomputed_shards,
+            "cached_shards": sharded.cached_shards,
+            "recomputed_scans": sharded.recomputed_scans,
+            "seconds": sharded.seconds,
+        }
+    return payload
+
 
 def search_report(spec: ExperimentSpec, front) -> dict[str, Any]:
     """The ``kind="search"`` report for an estimate-only front.

@@ -49,6 +49,12 @@ def spec_to_task(spec: ExperimentSpec) -> CampaignTask:
     inside a campaign produces (and caches) exactly the artifacts
     :meth:`Session.optimize` would for the same spec.
     """
+    if spec.trace.path is not None:
+        raise SpecError(
+            "file-backed traces run through Session.optimize / "
+            "Session.profile; campaign grids are registry-workload cells",
+            field="trace.path",
+        )
     return CampaignTask(
         suite=spec.trace.suite,
         benchmark=spec.trace.benchmark,
@@ -278,6 +284,31 @@ class Session:
 
     # -- running specs -----------------------------------------------------
 
+    def profile(self, spec: SpecLike):
+        """Compute (or load) the spec's conflict profile.
+
+        The profiling-only entry point: resolves the trace (registry or
+        file-backed — a ``.bin`` path opens memory-mapped), profiles it
+        for the spec's geometry and window, and returns the
+        :class:`~repro.profiling.ConflictProfile`.  With
+        ``execution.shard_size`` set the sharded out-of-core driver
+        runs (parallel over ``execution.workers``, resumable through
+        the session cache); use
+        :meth:`PipelineContext.profile_sharded` directly for the
+        per-shard execution statistics.
+        """
+        spec = ExperimentSpec.coerce(spec)
+        trace = spec.trace.resolve()
+        geometry = spec.geometry.resolve()
+        context = self.context(self._effective_cache_dir(spec.execution))
+        return context.profile(
+            trace,
+            geometry,
+            spec.search.n,
+            shard_size=spec.execution.shard_size,
+            workers=self._effective_workers(spec.execution),
+        )
+
     def optimize(self, spec: SpecLike):
         """Run one experiment spec end to end.
 
@@ -294,6 +325,17 @@ class Session:
         geometry = spec.geometry.resolve()
         family = spec.search.resolve_family(geometry.index_bits)
         context = self.context(self._effective_cache_dir(spec.execution))
+        if spec.execution.shard_size is not None:
+            # Pre-warm the profile through the sharded out-of-core
+            # driver (bit-identical to the single pass); the optimizer
+            # then finds it memoized under the standard key.
+            context.profile(
+                trace,
+                geometry,
+                spec.search.n,
+                shard_size=spec.execution.shard_size,
+                workers=self._effective_workers(spec.execution),
+            )
         with use_backend(spec.execution.backend) as backend:
             result = optimize_for_trace(
                 trace,

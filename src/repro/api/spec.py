@@ -91,52 +91,157 @@ def _check_fields(
 
 @dataclass(frozen=True)
 class TraceSpec:
-    """Which memory-access trace to run on, by registry identity.
+    """Which memory-access trace to run on.
 
-    The trace is named, not embedded: ``(suite, benchmark, kind, scale,
-    seed)`` resolves through :mod:`repro.workloads.registry`, whose
-    kernels are deterministic in ``(scale, seed)`` — so a spec is a
-    complete, content-stable description of its input data.
+    Two mutually exclusive identities:
+
+    * **Registry** — ``(suite, benchmark, kind, scale, seed)`` resolves
+      through :mod:`repro.workloads.registry`, whose kernels are
+      deterministic in ``(scale, seed)``, so the spec is a complete,
+      content-stable description of its input data.
+    * **File** — ``path`` names an on-disk trace (``format`` defaults
+      to the suffix: ``.bin``/``.npz``/``.txt``/``.din``/``.lackey``),
+      making captured production traces first-class spec inputs.  A
+      ``.bin`` trace resolves memory-mapped, so it can be far larger
+      than RAM; artifact keys use the trace's *content* digest, while
+      the spec digest identifies the path as written.
     """
 
-    suite: str
-    benchmark: str
+    suite: str = ""
+    benchmark: str = ""
     kind: str = "data"
     scale: str = "small"
     seed: int = 0
+    path: str | None = None
+    format: str | None = None
 
     def __post_init__(self):
-        if self.suite not in SUITES:
-            raise SpecError(
-                f"unknown suite {self.suite!r}; choose from "
-                f"{', '.join(sorted(SUITES))}",
-                field="trace.suite",
-            )
-        if not has_workload(self.suite, self.benchmark):
-            raise SpecError(
-                f"unknown workload {self.suite}/{self.benchmark}; choose from "
-                f"{', '.join(workload_names(self.suite))}",
-                field="trace.benchmark",
-            )
+        from repro.trace.stream import TRACE_FORMATS, infer_trace_format
+
+        if self.path is not None:
+            if not isinstance(self.path, str):
+                raise SpecError(
+                    f"expected a path string, got {self.path!r}", field="trace.path"
+                )
+            if self.suite or self.benchmark:
+                raise SpecError(
+                    "a trace is either a registry workload (suite/benchmark) "
+                    "or a file (path), not both",
+                    field="trace.path",
+                )
+            if self.scale != "small" or self.seed != 0:
+                raise SpecError(
+                    "scale/seed describe registry workloads and do not apply "
+                    "to file-backed traces",
+                    field="trace.scale" if self.scale != "small" else "trace.seed",
+                )
+            fmt = self.format
+            if fmt is None:
+                fmt = infer_trace_format(self.path)
+                if fmt is None:
+                    raise SpecError(
+                        f"cannot infer the trace format from {self.path!r}; "
+                        f"set trace.format to one of {', '.join(TRACE_FORMATS)}",
+                        field="trace.format",
+                    )
+                object.__setattr__(self, "format", fmt)
+            if fmt not in TRACE_FORMATS:
+                raise SpecError(
+                    f"unknown trace format {fmt!r}; choose from "
+                    f"{', '.join(TRACE_FORMATS)}",
+                    field="trace.format",
+                )
+        else:
+            if self.format is not None:
+                raise SpecError(
+                    "trace.format only applies to file-backed traces "
+                    "(set trace.path)",
+                    field="trace.format",
+                )
+            if not self.suite:
+                raise SpecError(
+                    "name a registry workload (trace.suite + trace.benchmark) "
+                    "or an on-disk trace (trace.path)",
+                    field="trace.suite",
+                )
+            if self.suite not in SUITES:
+                raise SpecError(
+                    f"unknown suite {self.suite!r}; choose from "
+                    f"{', '.join(sorted(SUITES))}",
+                    field="trace.suite",
+                )
+            if not has_workload(self.suite, self.benchmark):
+                raise SpecError(
+                    f"unknown workload {self.suite}/{self.benchmark}; choose from "
+                    f"{', '.join(workload_names(self.suite))}",
+                    field="trace.benchmark",
+                )
+            if self.scale not in SCALES:
+                raise SpecError(
+                    f"unknown scale {self.scale!r}; choose from {', '.join(SCALES)}",
+                    field="trace.scale",
+                )
         if self.kind not in TRACE_KINDS:
             raise SpecError(
                 f"unknown trace kind {self.kind!r}; choose from "
                 f"{', '.join(TRACE_KINDS)}",
                 field="trace.kind",
             )
-        if self.scale not in SCALES:
-            raise SpecError(
-                f"unknown scale {self.scale!r}; choose from {', '.join(SCALES)}",
-                field="trace.scale",
-            )
         _require_int(self.seed, "trace.seed", minimum=0)
 
+    @property
+    def label(self) -> str:
+        """Short display identity: ``suite/benchmark`` or the file path."""
+        if self.path is not None:
+            return f"file:{self.path}"
+        return f"{self.suite}/{self.benchmark}"
+
     def resolve(self) -> Trace:
-        """The actual trace (workload runs are cached per identity)."""
-        return get_trace(self.suite, self.benchmark, self.kind, self.scale, self.seed)
+        """The actual trace (workload runs are cached per identity).
+
+        File-backed specs load through the format's reader —
+        memory-mapped for ``bin``, the streaming-tested loaders
+        otherwise, with ``kind`` selecting references for the
+        dinero/lackey filters.
+        """
+        if self.path is None:
+            return get_trace(
+                self.suite, self.benchmark, self.kind, self.scale, self.seed
+            )
+        from repro.trace.formats import load_dinero, load_lackey
+        from repro.trace.io import load_trace, load_trace_text
+
+        try:
+            if self.format == "bin":
+                return Trace.open_mmap(self.path, kind=self.kind)
+            if self.format == "npz":
+                return load_trace(self.path)
+            if self.format == "text":
+                return load_trace_text(self.path)
+            if self.format == "dinero":
+                return load_dinero(self.path, kinds=self.kind)
+            return load_lackey(self.path, kinds=self.kind)
+        except OSError as error:
+            raise SpecError(
+                f"cannot read trace file {self.path}: {error}", field="trace.path"
+            ) from None
 
     def to_dict(self) -> dict[str, Any]:
-        return asdict(self)
+        payload = asdict(self)
+        if self.path is None:
+            # Registry specs serialize exactly as before the file
+            # fields existed, so their digests (and every golden
+            # report) are stable.
+            del payload["path"]
+            del payload["format"]
+        else:
+            # File specs omit the registry-only fields (all defaults,
+            # enforced above) — lossless by construction.
+            del payload["suite"]
+            del payload["benchmark"]
+            del payload["scale"]
+            del payload["seed"]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "TraceSpec":
@@ -257,10 +362,16 @@ class ExecutionSpec:
     workers: int | None = None
     cache_dir: str | None = None
     backend: str | None = None
+    #: Accesses per shard for out-of-core profiling (``None`` = the
+    #: single-pass kernel).  Sharding is bit-identical, so — like every
+    #: execution field — it never enters the spec digest.
+    shard_size: int | None = None
 
     def __post_init__(self):
         if self.workers is not None:
             _require_int(self.workers, "execution.workers", minimum=0)
+        if self.shard_size is not None:
+            _require_int(self.shard_size, "execution.shard_size", minimum=1)
         if self.cache_dir is not None and not isinstance(self.cache_dir, str):
             raise SpecError(
                 f"expected a path string, got {self.cache_dir!r}",
@@ -282,7 +393,12 @@ class ExecutionSpec:
                 )
 
     def to_dict(self) -> dict[str, Any]:
-        return asdict(self)
+        payload = asdict(self)
+        if self.shard_size is None:
+            # Keep pre-sharding serializations (and the reports echoing
+            # them) byte-stable.
+            del payload["shard_size"]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ExecutionSpec":
@@ -353,8 +469,9 @@ class ExperimentSpec:
         if s.guard:
             extras.append("guard")
         suffix = f" ({', '.join(extras)})" if extras else ""
+        detail = t.kind if t.path is not None else f"{t.kind}, {t.scale}"
         return (
-            f"{t.suite}/{t.benchmark} [{t.kind}, {t.scale}] @ {g.resolve()}: "
+            f"{t.label} [{detail}] @ {g.resolve()}: "
             f"family {s.family}, n={s.n}{suffix}"
         )
 
@@ -373,7 +490,8 @@ class ExperimentSpec:
         payload = _check_fields(payload, cls)
         if "trace" not in payload:
             raise SpecError(
-                "a [trace] table naming suite and benchmark is required",
+                "a [trace] table naming suite and benchmark (or a trace-file "
+                "path) is required",
                 field="trace",
             )
         return cls(

@@ -24,6 +24,8 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
+import numpy as np
+
 from repro.profiling.conflict_profile import ConflictProfile
 
 __all__ = ["ArtifactCache", "default_cache_dir", "stable_key"]
@@ -129,20 +131,46 @@ class ArtifactCache:
 
     # -- conflict-profile artifacts ----------------------------------------
 
-    def load_profile(self, key: str) -> ConflictProfile | None:
-        path = self.path_for("profile", key, ".npz")
+    def load_profile(self, key: str, kind: str = "profile") -> ConflictProfile | None:
+        """Load a profile artifact; ``kind`` separates the whole-trace
+        ``"profile"`` namespace from per-shard ``"shard-profile"``
+        partials."""
+        path = self.path_for(kind, key, ".npz")
         try:
             profile = ConflictProfile.load(path)
         except (OSError, KeyError, ValueError):
-            self._bump("profile", "misses")
+            self._bump(kind, "misses")
             return None
-        self._bump("profile", "hits")
+        self._bump(kind, "hits")
         return profile
 
-    def store_profile(self, key: str, profile: ConflictProfile) -> None:
-        path = self.path_for("profile", key, ".npz")
+    def store_profile(
+        self, key: str, profile: ConflictProfile, kind: str = "profile"
+    ) -> None:
+        path = self.path_for(kind, key, ".npz")
         self._store_atomic(path, profile.save)
-        self._bump("profile", "stores")
+        self._bump(kind, "stores")
+
+    # -- generic array artifacts -------------------------------------------
+
+    def load_arrays(self, kind: str, key: str) -> dict[str, Any] | None:
+        """Load an npz bundle of named arrays (e.g. shard scan states)."""
+        path = self.path_for(kind, key, ".npz")
+        try:
+            with np.load(path) as data:
+                payload = {name: data[name] for name in data.files}
+        except (OSError, KeyError, ValueError):
+            self._bump(kind, "misses")
+            return None
+        self._bump(kind, "hits")
+        return payload
+
+    def store_arrays(self, kind: str, key: str, arrays: dict[str, Any]) -> None:
+        path = self.path_for(kind, key, ".npz")
+        self._store_atomic(
+            path, lambda tmp: np.savez_compressed(tmp, **arrays)
+        )
+        self._bump(kind, "stores")
 
     def __repr__(self) -> str:
         return (

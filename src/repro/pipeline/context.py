@@ -93,20 +93,13 @@ class PipelineContext:
 
     # -- conflict profiles -------------------------------------------------
 
-    def profile(self, trace: Trace, geometry: CacheGeometry, n: int) -> ConflictProfile:
-        """Cached :func:`repro.profiling.profile_trace`.
-
-        Cache misses run the chunked vectorized profiling kernel
-        (:func:`repro.profiling.profile_blocks`), so even the cold path
-        has no per-access Python loop.
-
-        Keyed by what the profile actually depends on: the trace
+    def _profile_key(self, trace: Trace, geometry: CacheGeometry, n: int) -> str:
+        """Keyed by what the profile actually depends on: the trace
         content, the block size (address granularity), the capacity in
         blocks (the capacity-miss filter) and the window width ``n`` —
         not the full geometry, so e.g. every associativity sharing a
-        capacity shares the profile.
-        """
-        key = stable_key(
+        capacity shares the profile."""
+        return stable_key(
             "profile",
             {
                 "trace": trace.digest,
@@ -115,17 +108,78 @@ class PipelineContext:
                 "n": n,
             },
         )
+
+    def profile(
+        self,
+        trace: Trace,
+        geometry: CacheGeometry,
+        n: int,
+        shard_size: int | None = None,
+        workers: int | None = None,
+    ) -> ConflictProfile:
+        """Cached :func:`repro.profiling.profile_trace`.
+
+        Cache misses run the chunked vectorized profiling kernel
+        (:func:`repro.profiling.profile_blocks`), so even the cold path
+        has no per-access Python loop.  With ``shard_size``, misses run
+        the sharded out-of-core driver instead
+        (:func:`repro.profiling.run_sharded_profile` — bit-identical,
+        bounded memory, optionally parallel over ``workers``); the
+        merged result lands under the same key, so sharding never
+        changes what downstream stages see.
+        """
+        key = self._profile_key(trace, geometry, n)
         memo_key = ("profile", key)
         cached = self._memo.get(memo_key)
         if cached is None and self.cache is not None:
             cached = self.cache.load_profile(key)
         if cached is None:
-            blocks = trace.block_addresses(geometry.block_size)
-            cached = profile_blocks(blocks, geometry.num_blocks, n)
+            if shard_size is not None:
+                from repro.profiling.sharded import run_sharded_profile
+
+                cached = run_sharded_profile(
+                    trace,
+                    geometry,
+                    n,
+                    shard_size=shard_size,
+                    workers=workers,
+                    context=self,
+                ).profile
+            else:
+                blocks = trace.block_addresses(geometry.block_size)
+                cached = profile_blocks(blocks, geometry.num_blocks, n)
             if self.cache is not None:
                 self.cache.store_profile(key, cached)
         self._memo[memo_key] = cached
         return cached
+
+    def profile_sharded(
+        self,
+        trace: Trace,
+        geometry: CacheGeometry,
+        n: int,
+        shard_size: int,
+        workers: int | None = None,
+    ):
+        """Run the sharded driver and return its full
+        :class:`~repro.profiling.sharded.ShardedProfileResult`.
+
+        Unlike :meth:`profile` with ``shard_size`` (which short-circuits
+        on a cached merged profile), this always walks the per-shard
+        artifacts — warm runs report ``recomputed_shards == 0`` — and
+        then stores/memoizes the merged profile under the standard
+        ``"profile"`` key so later :meth:`profile` calls hit it.
+        """
+        from repro.profiling.sharded import run_sharded_profile
+
+        result = run_sharded_profile(
+            trace, geometry, n, shard_size=shard_size, workers=workers, context=self
+        )
+        key = self._profile_key(trace, geometry, n)
+        if self.cache is not None:
+            self.cache.store_profile(key, result.profile)
+        self._memo[("profile", key)] = result.profile
+        return result
 
     # -- exact simulation --------------------------------------------------
 

@@ -24,6 +24,13 @@ from repro.profiling.sampling import (
     profile_blocks_sampled,
     sampling_quality,
 )
+from repro.profiling.sharded import (
+    ShardedProfileResult,
+    ShardPlan,
+    profile_blocks_sharded,
+    profile_trace_sharded,
+    run_sharded_profile,
+)
 
 __all__ = [
     "ConflictProfile",
@@ -42,4 +49,9 @@ __all__ = [
     "SamplingReport",
     "profile_blocks_sampled",
     "sampling_quality",
+    "ShardPlan",
+    "ShardedProfileResult",
+    "profile_blocks_sharded",
+    "profile_trace_sharded",
+    "run_sharded_profile",
 ]

@@ -125,18 +125,51 @@ class ConflictProfile:
             raise ValueError(f"vector {vector:#x} does not fit in {self.n} bits")
         return int(self.counts[vector])
 
+    @classmethod
+    def merge(cls, profiles) -> "ConflictProfile":
+        """One-pass pointwise sum of any number of profiles.
+
+        Accepts any iterable (consumed lazily, so a generator of
+        per-shard or per-window profiles never holds more than one
+        addend plus the accumulator — memory stays O(2^n), not
+        O(profiles x 2^n)) and accumulates every histogram into a
+        single buffer.  Equivalent to chaining :meth:`merged_with`
+        (property-tested) without the intermediate profile object and
+        ``2^n`` temporary per addend.
+        """
+        iterator = iter(profiles)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("merge needs at least one profile") from None
+        counts = np.array(first.counts, dtype=np.int64)
+        compulsory = first.compulsory
+        capacity = first.capacity
+        accesses = first.accesses
+        beyond_window = first.beyond_window
+        for profile in iterator:
+            if profile.n != first.n:
+                raise ValueError(f"window sizes differ: {first.n} vs {profile.n}")
+            np.add(counts, profile.counts, out=counts)
+            compulsory += profile.compulsory
+            capacity += profile.capacity
+            accesses += profile.accesses
+            beyond_window += profile.beyond_window
+        # Pre-freeze so the constructor adopts the accumulator instead
+        # of defensively copying a writable caller array.
+        counts.setflags(write=False)
+        return cls(
+            first.n,
+            counts,
+            compulsory=compulsory,
+            capacity=capacity,
+            accesses=accesses,
+            beyond_window=beyond_window,
+        )
+
     def merged_with(self, other: "ConflictProfile") -> "ConflictProfile":
         """Pointwise sum of two profiles over the same window."""
-        if self.n != other.n:
-            raise ValueError(f"window sizes differ: {self.n} vs {other.n}")
-        return ConflictProfile(
-            self.n,
-            self.counts + other.counts,
-            compulsory=self.compulsory + other.compulsory,
-            capacity=self.capacity + other.capacity,
-            accesses=self.accesses + other.accesses,
-            beyond_window=self.beyond_window + other.beyond_window,
-        )
+        return ConflictProfile.merge((self, other))
 
     def top_vectors(self, k: int) -> list[tuple[int, int]]:
         """The ``k`` heaviest conflict vectors as (vector, count) pairs."""

@@ -17,11 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.profiling.conflict_profile import (
-    ConflictProfile,
-    _profile_into,
-    profile_blocks,
-)
+from repro.profiling.conflict_profile import ConflictProfile, profile_blocks
 
 __all__ = ["SamplingReport", "profile_blocks_sampled", "sampling_quality"]
 
@@ -39,10 +35,11 @@ def profile_blocks_sampled(
     profiled independently (the LRU stack restarts), which slightly
     under-counts conflicts that straddle window boundaries.
 
-    Every window runs through the vectorized profiling kernel and
-    accumulates into one shared histogram, so merging adds no
-    per-window Python overhead (no intermediate profile objects or
-    ``2^n``-sized temporaries).
+    Every window runs through the vectorized profiling kernel and the
+    per-window profiles stream through
+    :meth:`ConflictProfile.merge` as a generator, so at most one
+    window profile is alive next to the accumulator — the same n-way
+    merge the sharded driver uses.
     """
     if window < 1:
         raise ValueError(f"window must be >= 1, got {window}")
@@ -51,26 +48,11 @@ def profile_blocks_sampled(
     blocks = np.ascontiguousarray(np.asarray(blocks), dtype=np.uint64)
     if capacity_blocks < 1:
         raise ValueError(f"capacity must be >= 1 block, got {capacity_blocks}")
-    if period == 1:
+    if period == 1 or len(blocks) == 0:
         return profile_blocks(blocks, capacity_blocks, n)
-    counts = np.zeros(1 << n, dtype=np.int64)
-    compulsory = capacity = beyond_window = accesses = 0
-    for start in range(0, len(blocks), window * period):
-        chunk = blocks[start : start + window]
-        if len(chunk) == 0:
-            break
-        com, cap, bey = _profile_into(chunk, capacity_blocks, n, counts)
-        compulsory += com
-        capacity += cap
-        beyond_window += bey
-        accesses += len(chunk)
-    return ConflictProfile(
-        n,
-        counts,
-        compulsory=compulsory,
-        capacity=capacity,
-        accesses=accesses,
-        beyond_window=beyond_window,
+    return ConflictProfile.merge(
+        profile_blocks(blocks[start : start + window], capacity_blocks, n)
+        for start in range(0, len(blocks), window * period)
     )
 
 

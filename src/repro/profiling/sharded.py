@@ -1,0 +1,487 @@
+"""Sharded, parallel Fig. 1 profiling for out-of-core traces.
+
+The single-pass kernel (:func:`repro.profiling.profile_blocks`) needs
+the whole block stream plus O(N) side arrays in memory.  This module
+cuts the stream into a :class:`ShardPlan` of fixed-size shards, profiles
+every shard independently — in parallel worker processes when asked —
+and merges the per-shard histograms into a profile **bit-identical** to
+the single pass, in memory bounded by the shard size and the block
+working set rather than the trace length.
+
+Why exactness survives the cut
+------------------------------
+The kernel only consumes *relative order*: an access contributes the
+XOR vectors of the distinct blocks above its previous occurrence on the
+LRU stack, or a capacity/compulsory miss.  The LRU stack state at a
+shard boundary is fully described by (block, last occurrence time) for
+every block seen so far.  So each shard is profiled on a synthetic
+stream: one access per previously-seen block, in ascending
+last-occurrence order (the *prefix*), followed by the shard itself.
+The prefix reproduces the exact stack the global pass would have, its
+accesses are all first touches (``len(prefix)`` compulsory misses, no
+vectors, no capacity misses), and subtracting them leaves precisely the
+shard's contribution to the global profile.  A cheap parallel *scan*
+pass computes each shard's (block, last time) summary; a sequential
+prefix-merge of those summaries (plain array ops) yields every shard's
+incoming state.
+
+Resumability
+------------
+With an artifact cache, every shard profile and scan summary is stored
+under a key derived from the trace digest, geometry and shard bounds.
+A re-run loads finished shards and recomputes only the missing ones —
+``ShardedProfileResult.recomputed_shards == 0`` on a warm replay — and
+the scan phase is skipped entirely once no shard is missing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from functools import partial
+from typing import Iterator
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.profiling.conflict_profile import ConflictProfile, _profile_into
+from repro.trace.trace import Trace
+
+__all__ = [
+    "Shard",
+    "ShardPlan",
+    "ShardedProfileResult",
+    "ArrayBlockSource",
+    "FileBlockSource",
+    "profile_blocks_sharded",
+    "profile_trace_sharded",
+    "run_sharded_profile",
+]
+
+#: Default accesses per shard: ~32 MB of uint64 blocks, small enough
+#: that a handful of workers fit comfortably in memory, large enough to
+#: amortize scheduling and prefix replay.
+DEFAULT_SHARD_SIZE = 1 << 22
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One ``[start, stop)`` slice of the block stream."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Fixed-size, order-preserving cut of ``total`` accesses.
+
+    Shards partition ``[0, total)`` exactly; the LRU-stack overlap
+    between consecutive shards is not duplicated into the slices but
+    carried as scan state (see the module docstring), so the plan is
+    a pure arithmetic object.
+    """
+
+    total: int
+    shard_size: int
+
+    def __post_init__(self):
+        if self.total < 0:
+            raise ValueError(f"total must be >= 0, got {self.total}")
+        if self.shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+
+    @property
+    def num_shards(self) -> int:
+        return -(-self.total // self.shard_size)
+
+    def __len__(self) -> int:
+        return self.num_shards
+
+    def __getitem__(self, index: int) -> Shard:
+        if not 0 <= index < self.num_shards:
+            raise IndexError(index)
+        start = index * self.shard_size
+        return Shard(index, start, min(start + self.shard_size, self.total))
+
+    def __iter__(self) -> Iterator[Shard]:
+        return (self[i] for i in range(self.num_shards))
+
+
+@dataclass(frozen=True)
+class ArrayBlockSource:
+    """Block stream backed by an in-memory array (ships to workers by
+    pickling the array — fine for tests and serial runs)."""
+
+    blocks: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def read(self, start: int, stop: int) -> np.ndarray:
+        return np.ascontiguousarray(self.blocks[start:stop], dtype=np.uint64)
+
+
+@dataclass(frozen=True)
+class FileBlockSource:
+    """Block stream backed by a raw ``.bin`` trace file.
+
+    Pickles as a path, so parallel workers each reopen the mapping and
+    page in only their own shard — the reason a 100M-access trace
+    profiles under a memory budget that never fits the trace.
+    ``block_shift`` is ``log2(block_size)`` applied on read.
+    """
+
+    path: str
+    count: int
+    block_shift: int = 0
+
+    def __len__(self) -> int:
+        return self.count
+
+    def read(self, start: int, stop: int) -> np.ndarray:
+        mapped = np.memmap(self.path, dtype=np.dtype("<u8"), mode="r")
+        # Both branches allocate a fresh shard-sized array, so the
+        # mapping (and its paged-in slice) is released on return.
+        if self.block_shift:
+            return np.asarray(
+                np.right_shift(mapped[start:stop], np.uint64(self.block_shift)),
+                dtype=np.uint64,
+            )
+        return np.array(mapped[start:stop], dtype=np.uint64)
+
+
+@dataclass(frozen=True)
+class ShardedProfileResult:
+    """A merged profile plus how the sharded run actually executed."""
+
+    profile: ConflictProfile
+    plan: ShardPlan
+    workers: int
+    #: Shards whose profile was computed this run (vs loaded).
+    recomputed_shards: int
+    cached_shards: int
+    #: Scan summaries computed this run (vs loaded or not needed).
+    recomputed_scans: int
+    seconds: float
+
+    @property
+    def fully_cached(self) -> bool:
+        """True when every shard profile came from the artifact cache."""
+        return len(self.plan) > 0 and self.recomputed_shards == 0
+
+
+def _scan_summary(blocks: np.ndarray, start: int) -> tuple[np.ndarray, np.ndarray]:
+    """(unique blocks sorted ascending, their global last-access times).
+
+    One stable argsort: within each equal-block group program order is
+    preserved, so the last row of a group is the block's latest access.
+    """
+    order = np.argsort(blocks, kind="stable")
+    in_order = blocks[order]
+    if not len(in_order):
+        return in_order, np.empty(0, dtype=np.int64)
+    last = np.flatnonzero(np.append(in_order[1:] != in_order[:-1], True))
+    return in_order[last], start + order[last].astype(np.int64)
+
+
+def _merge_state(
+    state_blocks: np.ndarray,
+    state_times: np.ndarray,
+    new_blocks: np.ndarray,
+    new_times: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold a later shard's scan summary into the running (block, last
+    time) state; the summary wins on duplicates (its times are later)."""
+    if not len(state_blocks):
+        return new_blocks, new_times
+    if not len(new_blocks):
+        return state_blocks, state_times
+    all_blocks = np.concatenate([state_blocks, new_blocks])
+    all_times = np.concatenate([state_times, new_times])
+    order = np.argsort(all_blocks, kind="stable")
+    in_order = all_blocks[order]
+    last = np.flatnonzero(np.append(in_order[1:] != in_order[:-1], True))
+    return in_order[last], all_times[order[last]]
+
+
+def _profile_shard(
+    shard_blocks: np.ndarray,
+    prefix_blocks: np.ndarray,
+    capacity_blocks: int,
+    n: int,
+) -> ConflictProfile:
+    """Profile one shard given the blocks live before it, in ascending
+    last-occurrence order (the synthetic-prefix replay)."""
+    if len(prefix_blocks):
+        synthetic = np.concatenate([prefix_blocks, shard_blocks])
+    else:
+        synthetic = shard_blocks
+    counts = np.zeros(1 << n, dtype=np.int64)
+    compulsory, capacity, beyond_window = _profile_into(
+        synthetic, capacity_blocks, n, counts
+    )
+    counts.setflags(write=False)
+    return ConflictProfile(
+        n,
+        counts,
+        compulsory=compulsory - len(prefix_blocks),
+        capacity=capacity,
+        accesses=len(shard_blocks),
+        beyond_window=beyond_window,
+    )
+
+
+# -- worker tasks (top level so the process pool can pickle them) ----------
+
+
+def _scan_shard_task(item, source) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Scan one shard: return (blocks, last times, recomputed)."""
+    from repro.pipeline.runtime import current_context
+
+    start, stop, key = item
+    context = current_context()
+    cache = context.cache if context is not None else None
+    if cache is not None and key is not None:
+        stored = cache.load_arrays("shard-scan", key)
+        if stored is not None:
+            return stored["blocks"], stored["times"], False
+    blocks, times = _scan_summary(source.read(start, stop), start)
+    if cache is not None and key is not None:
+        cache.store_arrays("shard-scan", key, {"blocks": blocks, "times": times})
+    return blocks, times, True
+
+
+def _profile_shard_task(item, source, capacity_blocks, n) -> ConflictProfile:
+    """Profile one (known-missing) shard and store its artifact."""
+    from repro.pipeline.runtime import current_context
+
+    start, stop, key, prefix_blocks = item
+    profile = _profile_shard(source.read(start, stop), prefix_blocks, capacity_blocks, n)
+    context = current_context()
+    if context is not None and context.cache is not None and key is not None:
+        context.cache.store_profile(key, profile, kind="shard-profile")
+    return profile
+
+
+# -- drivers ---------------------------------------------------------------
+
+
+def _empty_profile(n: int) -> ConflictProfile:
+    return ConflictProfile(n, np.zeros(1 << n, dtype=np.int64))
+
+
+def _run_sharded(
+    source,
+    capacity_blocks: int,
+    n: int,
+    shard_size: int,
+    workers: int | None,
+    context,
+    key_base: dict | None,
+) -> ShardedProfileResult:
+    from repro.pipeline.artifact_cache import stable_key
+    from repro.pipeline.campaign import map_with_context
+    from repro.pipeline.runtime import use_context
+
+    if capacity_blocks < 1:
+        raise ValueError(f"capacity must be >= 1 block, got {capacity_blocks}")
+    t0 = time.perf_counter()
+    plan = ShardPlan(len(source), shard_size)
+    shards = list(plan)
+    if workers is None:
+        workers = min(len(shards), os.cpu_count() or 1) or 1
+    workers = max(1, workers)
+    if not shards:
+        return ShardedProfileResult(
+            profile=_empty_profile(n),
+            plan=plan,
+            workers=workers,
+            recomputed_shards=0,
+            cached_shards=0,
+            recomputed_scans=0,
+            seconds=time.perf_counter() - t0,
+        )
+
+    cache = context.cache if context is not None else None
+    cache_dir = str(cache.root) if cache is not None else None
+
+    def shard_key(kind: str, shard: Shard) -> str | None:
+        if key_base is None or cache is None:
+            return None
+        return stable_key(kind, {**key_base, "start": shard.start, "stop": shard.stop})
+
+    profile_keys = [shard_key("shard-profile", shard) for shard in shards]
+    profiles: list[ConflictProfile | None] = [
+        cache.load_profile(key, kind="shard-profile")
+        if cache is not None and key is not None
+        else None
+        for key in profile_keys
+    ]
+    missing = [i for i, profile in enumerate(profiles) if profile is None]
+    recomputed_scans = 0
+    if missing:
+        # Incoming LRU-stack state per missing shard, via scan summaries
+        # of every shard before the furthest missing one.  Scans fan out
+        # over the same pool as the profiling phase.
+        scan_items = [
+            (shard.start, shard.stop, shard_key("shard-scan", shard))
+            for shard in shards[: max(missing)]
+        ]
+        scope = context.activate() if context is not None else _null_scope()
+        with scope:
+            summaries = map_with_context(
+                partial(_scan_shard_task, source=source),
+                scan_items,
+                cache_dir=cache_dir,
+                workers=min(workers, len(scan_items)) or 1,
+            )
+            recomputed_scans = sum(1 for *_, fresh in summaries if fresh)
+            missing_set = set(missing)
+            prefixes: dict[int, np.ndarray] = {}
+            state_blocks = np.empty(0, dtype=np.uint64)
+            state_times = np.empty(0, dtype=np.int64)
+            for shard in shards:
+                if shard.index in missing_set:
+                    # Blocks live before the shard, in ascending
+                    # last-occurrence order = LRU stack order.
+                    prefixes[shard.index] = state_blocks[np.argsort(state_times)]
+                if shard.index < len(summaries):
+                    blocks, times, _fresh = summaries[shard.index]
+                    state_blocks, state_times = _merge_state(
+                        state_blocks, state_times, blocks, times
+                    )
+            del state_blocks, state_times, summaries
+            profile_items = [
+                (
+                    shards[i].start,
+                    shards[i].stop,
+                    profile_keys[i],
+                    prefixes.pop(i),
+                )
+                for i in missing
+            ]
+            computed = map_with_context(
+                partial(
+                    _profile_shard_task,
+                    source=source,
+                    capacity_blocks=capacity_blocks,
+                    n=n,
+                ),
+                profile_items,
+                cache_dir=cache_dir,
+                workers=min(workers, len(profile_items)) or 1,
+            )
+        for i, profile in zip(missing, computed):
+            profiles[i] = profile
+    merged = ConflictProfile.merge(iter(profiles))
+    return ShardedProfileResult(
+        profile=merged,
+        plan=plan,
+        workers=workers,
+        recomputed_shards=len(missing),
+        cached_shards=len(shards) - len(missing),
+        recomputed_scans=recomputed_scans,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+class _null_scope:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+def profile_blocks_sharded(
+    blocks: np.ndarray,
+    capacity_blocks: int,
+    n: int,
+    shard_size: int,
+    workers: int = 1,
+) -> ConflictProfile:
+    """Sharded equivalent of :func:`repro.profiling.profile_blocks`.
+
+    Bit-identical for every shard size (property-tested, including
+    ``shard_size=1`` and shards larger than the trace); the pure
+    block-level entry point used by equivalence tests and callers that
+    already hold an array.  No caching — see
+    :func:`run_sharded_profile` for the resumable trace-level driver.
+    """
+    source = ArrayBlockSource(np.ascontiguousarray(np.asarray(blocks), dtype=np.uint64))
+    result = _run_sharded(
+        source, capacity_blocks, n, shard_size, workers, context=None, key_base=None
+    )
+    return result.profile
+
+
+def run_sharded_profile(
+    trace: Trace,
+    geometry: CacheGeometry,
+    n: int,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    workers: int | None = 1,
+    context=None,
+) -> ShardedProfileResult:
+    """Profile a trace shard-by-shard; return the merged profile plus
+    execution stats.
+
+    Memory-mapped traces (:meth:`Trace.open_mmap`) are read through a
+    :class:`FileBlockSource`, so each worker touches only its own
+    shard's pages; other traces ship their block array to the workers.
+    With a cache-backed ``context`` (a
+    :class:`~repro.pipeline.context.PipelineContext`), per-shard
+    profiles and scan summaries are stored under keys derived from the
+    trace digest + geometry + shard bounds, and a re-run resumes from
+    whatever finished.  ``workers=None`` picks one per core.
+    """
+    if context is None:
+        from repro.pipeline.runtime import current_context
+
+        context = current_context()
+    block_size = geometry.block_size
+    path = trace.mmap_path
+    if path is not None:
+        if block_size <= 0 or block_size & (block_size - 1):
+            raise ValueError(f"block size must be a power of two, got {block_size}")
+        source = FileBlockSource(
+            path, len(trace), block_shift=block_size.bit_length() - 1
+        )
+    else:
+        source = ArrayBlockSource(trace.block_addresses(block_size))
+    key_base = None
+    if context is not None and context.cache is not None:
+        key_base = {
+            "trace": trace.digest,
+            "block_size": block_size,
+            "capacity_blocks": geometry.num_blocks,
+            "n": n,
+        }
+    return _run_sharded(
+        source, geometry.num_blocks, n, shard_size, workers, context, key_base
+    )
+
+
+def profile_trace_sharded(
+    trace: Trace,
+    geometry: CacheGeometry,
+    n: int,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    workers: int | None = 1,
+    context=None,
+) -> ConflictProfile:
+    """Sharded equivalent of :func:`repro.profiling.profile_trace`.
+
+    Bit-identical to the single pass; see :func:`run_sharded_profile`
+    for the variant that also reports shard/cache statistics.
+    """
+    return run_sharded_profile(
+        trace, geometry, n, shard_size=shard_size, workers=workers, context=context
+    ).profile

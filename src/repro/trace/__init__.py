@@ -1,8 +1,21 @@
 """Address-trace substrate: the Trace type, synthetic generators, I/O."""
 
-from repro.trace.formats import load_dinero, load_lackey
+from repro.trace.formats import (
+    iter_dinero,
+    iter_lackey,
+    iter_trace_text,
+    load_dinero,
+    load_lackey,
+)
 from repro.trace.io import load_trace, load_trace_text, save_trace, save_trace_text
 from repro.trace.stats import TraceSummary, summarize
+from repro.trace.stream import (
+    TRACE_FORMATS,
+    BinTraceWriter,
+    convert_to_bin,
+    infer_trace_format,
+    save_trace_bin,
+)
 from repro.trace.synth import (
     interleaved,
     matrix_column_walk,
@@ -24,6 +37,14 @@ __all__ = [
     "load_trace_text",
     "load_dinero",
     "load_lackey",
+    "iter_dinero",
+    "iter_lackey",
+    "iter_trace_text",
+    "BinTraceWriter",
+    "save_trace_bin",
+    "convert_to_bin",
+    "infer_trace_format",
+    "TRACE_FORMATS",
     "sequential",
     "strided",
     "interleaved",

@@ -13,15 +13,26 @@ workloads:
 
 from __future__ import annotations
 
+from itertools import islice
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
 from repro.trace.trace import Trace
 
-__all__ = ["load_dinero", "load_lackey"]
+__all__ = [
+    "load_dinero",
+    "load_lackey",
+    "iter_dinero",
+    "iter_lackey",
+    "iter_trace_text",
+]
 
 _DINERO_KINDS = {0: "data", 1: "data", 2: "instruction"}
+
+#: Lines read per streaming batch — the memory bound of the iterators.
+_BATCH_LINES = 1 << 16
 
 
 def load_dinero(
@@ -60,6 +71,133 @@ def load_dinero(
         name=name or Path(path).stem,
         kind=kinds,
     )
+
+
+def iter_dinero(
+    path: str | Path, kinds: str = "data", batch_lines: int = _BATCH_LINES
+) -> Iterator[tuple[np.ndarray, int]]:
+    """Stream a Dinero ``din`` trace in bounded memory.
+
+    Yields ``(addresses, uops)`` per batch of at most ``batch_lines``
+    input lines: the selected references as a ``uint64`` array plus the
+    total reference count of the batch (every kind — the uop proxy
+    :func:`load_dinero` reports).  Concatenating the batches reproduces
+    the in-memory loader exactly (property-tested); peak memory is one
+    batch, never the trace.
+    """
+    if kinds not in ("data", "instruction", "unified"):
+        raise ValueError(f"kinds must be data/instruction/unified, got {kinds!r}")
+    if batch_lines < 1:
+        raise ValueError(f"batch_lines must be >= 1, got {batch_lines}")
+    with open(path) as fh:
+        lineno = 0
+        while True:
+            lines = list(islice(fh, batch_lines))
+            if not lines:
+                return
+            addresses: list[int] = []
+            total = 0
+            for line in lines:
+                lineno += 1
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) < 2:
+                    raise ValueError(f"{path}:{lineno}: malformed dinero line {line!r}")
+                try:
+                    label = int(parts[0])
+                    addr = int(parts[1], 16)
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{lineno}: {exc}") from None
+                if label not in _DINERO_KINDS:
+                    raise ValueError(f"{path}:{lineno}: unknown dinero label {label}")
+                total += 1
+                if kinds == "unified" or _DINERO_KINDS[label] == kinds:
+                    addresses.append(addr)
+            yield np.array(addresses, dtype=np.uint64), total
+
+
+def iter_lackey(
+    path: str | Path, kinds: str = "data", batch_lines: int = _BATCH_LINES
+) -> Iterator[tuple[np.ndarray, int]]:
+    """Stream a Valgrind Lackey log in bounded memory.
+
+    Same contract as :func:`iter_dinero`: ``(addresses, uops)`` batches
+    whose concatenation equals :func:`load_lackey` on the same file.
+    """
+    if kinds not in ("data", "instruction", "unified"):
+        raise ValueError(f"kinds must be data/instruction/unified, got {kinds!r}")
+    if batch_lines < 1:
+        raise ValueError(f"batch_lines must be >= 1, got {batch_lines}")
+    with open(path) as fh:
+        while True:
+            lines = list(islice(fh, batch_lines))
+            if not lines:
+                return
+            addresses: list[int] = []
+            total = 0
+            for line in lines:
+                if len(line) < 3:
+                    continue
+                marker = line[:2]
+                if marker == "I ":
+                    kind = "instruction"
+                elif marker in (" L", " S", " M"):
+                    kind = "data"
+                else:
+                    continue
+                body = line[2:].strip()
+                addr_text, __, _size = body.partition(",")
+                try:
+                    addr = int(addr_text, 16)
+                except ValueError:
+                    continue
+                repeats = 2 if marker == " M" else 1
+                total += repeats
+                if kinds == "unified" or kind == kinds:
+                    addresses.extend([addr] * repeats)
+            yield np.array(addresses, dtype=np.uint64), total
+
+
+def iter_trace_text(
+    path: str | Path,
+    batch_lines: int = _BATCH_LINES,
+    header: dict | None = None,
+) -> Iterator[np.ndarray]:
+    """Stream the ``#``-commented hex text format in bounded memory.
+
+    Yields ``uint64`` address batches; passing a ``header`` dict
+    collects the ``name``/``kind``/``uops`` comment fields as they are
+    encountered (they normally lead the file, so the dict is complete
+    after the first batch).  Concatenating the batches equals
+    :func:`repro.trace.io.load_trace_text`'s addresses.
+    """
+    from repro.trace.io import parse_hex_tokens
+
+    if batch_lines < 1:
+        raise ValueError(f"batch_lines must be >= 1, got {batch_lines}")
+    with open(path) as fh:
+        while True:
+            lines = [line.strip() for line in islice(fh, batch_lines)]
+            if not lines:
+                return
+            tokens: list[str] = []
+            for line in lines:
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    if header is not None:
+                        key, __, value = line[1:].partition(":")
+                        key = key.strip()
+                        value = value.strip()
+                        if key in ("name", "kind"):
+                            header[key] = value
+                        elif key == "uops":
+                            header[key] = int(value)
+                    continue
+                tokens.append(line)
+            yield parse_hex_tokens(np.array(tokens, dtype=str))
 
 
 def load_lackey(

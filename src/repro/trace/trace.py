@@ -10,7 +10,10 @@ byte addresses shifted right by 2.
 from __future__ import annotations
 
 import hashlib
+import json
+import sys
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -20,6 +23,11 @@ __all__ = ["Trace"]
 #: Bumped whenever the digest recipe changes, so stale on-disk artifacts
 #: keyed by an older recipe can never be mistaken for current ones.
 _DIGEST_VERSION = b"trace-digest-v1"
+
+#: Bytes hashed per :attr:`Trace.digest` update.  Chunking keeps the
+#: peak transient at one slice instead of a whole-trace ``tobytes()``
+#: copy, which matters for memory-mapped traces larger than RAM.
+_DIGEST_CHUNK_BYTES = 1 << 24
 
 _VALID_KINDS = ("data", "instruction", "unified")
 
@@ -71,6 +79,57 @@ class Trace:
     def __len__(self) -> int:
         return len(self.addresses)
 
+    @classmethod
+    def open_mmap(
+        cls,
+        path: str | Path,
+        uops: int = 0,
+        name: str | None = None,
+        kind: str | None = None,
+        metadata: dict[str, Any] | None = None,
+    ) -> "Trace":
+        """Open a raw ``.bin`` trace (little-endian uint64 addresses)
+        without loading it into memory.
+
+        The addresses stay a read-only memory mapping of the file, so a
+        trace far larger than RAM opens in O(1) and pages in lazily as
+        it is read.  Execution metadata comes from the
+        ``<path>.meta.json`` sidecar written by
+        :func:`repro.trace.stream.save_trace_bin` when present; explicit
+        arguments override it.  :attr:`mmap_path` records the backing
+        file so downstream consumers (sharded profiling, the streaming
+        digest) can reopen it per worker instead of pickling the array.
+        """
+        path = Path(path)
+        size = path.stat().st_size
+        if size % 8:
+            raise ValueError(
+                f"{path}: size {size} is not a multiple of 8 bytes "
+                "(expected raw little-endian uint64 addresses)"
+            )
+        header: dict[str, Any] = {}
+        meta_path = Path(str(path) + ".meta.json")
+        if meta_path.exists():
+            header = json.loads(meta_path.read_text())
+        if size:
+            addresses = np.memmap(path, dtype=np.dtype("<u8"), mode="r")
+        else:
+            addresses = np.empty(0, dtype=np.uint64)
+        trace = cls(
+            addresses,
+            uops=uops if uops else int(header.get("uops", 0)),
+            name=name if name is not None else header.get("name") or path.stem,
+            kind=kind if kind is not None else header.get("kind", "data"),
+            metadata=metadata if metadata is not None else header.get("metadata", {}),
+        )
+        object.__setattr__(trace, "_mmap_path", str(path))
+        return trace
+
+    @property
+    def mmap_path(self) -> str | None:
+        """Backing ``.bin`` file for memory-mapped traces, else ``None``."""
+        return self.__dict__.get("_mmap_path")
+
     @property
     def digest(self) -> str:
         """Stable content digest of the reference stream.
@@ -80,12 +139,33 @@ class Trace:
         ``metadata``, which are provenance: two traces with identical
         content share every derived artifact.  Computed once per
         instance and memoized (the address array is frozen).
+
+        The hash streams over the addresses in bounded chunks — for a
+        memory-mapped trace this reads the backing file in
+        ``_DIGEST_CHUNK_BYTES`` buffers rather than touching every page
+        of the mapping, so peak RSS stays O(chunk) no matter the trace
+        size.  Byte-identical to hashing ``addresses.tobytes()`` in one
+        shot (property-tested).
         """
         cached = self.__dict__.get("_digest")
         if cached is None:
             h = hashlib.sha256(_DIGEST_VERSION)
             h.update(f"|uops={self.uops}|kind={self.kind}|".encode())
-            h.update(self.addresses.tobytes())
+            path = self.mmap_path
+            if path is not None and sys.byteorder == "little" and len(self):
+                # The .bin file *is* the address bytes on little-endian
+                # hosts; buffered reads go through the page cache, not
+                # this process's resident set.
+                with open(path, "rb", buffering=0) as fh:
+                    while True:
+                        buf = fh.read(_DIGEST_CHUNK_BYTES)
+                        if not buf:
+                            break
+                        h.update(buf)
+            else:
+                step = _DIGEST_CHUNK_BYTES // 8
+                for start in range(0, len(self.addresses), step):
+                    h.update(self.addresses[start : start + step])
             cached = h.hexdigest()
             object.__setattr__(self, "_digest", cached)
         return cached

@@ -74,6 +74,9 @@ def execution_specs(draw):
     return ExecutionSpec(
         workers=draw(st.one_of(st.none(), st.integers(min_value=0, max_value=8))),
         cache_dir=draw(st.one_of(st.none(), st.just("/tmp/repro-cache"))),
+        shard_size=draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=1 << 22))
+        ),
     )
 
 
@@ -265,3 +268,103 @@ class TestTomlEmitter:
                   "l": [1, 2, 3]}
         }
         assert tomlio.loads(tomlio.dumps(payload)) == payload
+
+
+# ---------------------------------------------------------------------------
+# File-backed trace specs and the sharded execution knob
+# ---------------------------------------------------------------------------
+
+
+class TestFileTraceSpecs:
+    def _bin(self, tmp_path):
+        import numpy as np
+
+        from repro.trace import Trace, save_trace_bin
+
+        path = tmp_path / "t.bin"
+        save_trace_bin(
+            Trace(np.array([0, 32, 64, 32], dtype=np.uint64)), path
+        )
+        return str(path)
+
+    def test_dict_round_trip(self, tmp_path):
+        spec = TraceSpec(path=self._bin(tmp_path))
+        payload = spec.to_dict()
+        assert payload == {"kind": "data", "path": spec.path, "format": "bin"}
+        assert TraceSpec.from_dict(payload) == spec
+
+    def test_registry_dict_has_no_path_keys(self):
+        payload = TraceSpec("mibench", "fft").to_dict()
+        assert "path" not in payload and "format" not in payload
+
+    def test_format_inferred_from_suffix(self, tmp_path):
+        spec = TraceSpec(path=self._bin(tmp_path))
+        assert spec.format == "bin"
+
+    def test_label(self, tmp_path):
+        path = self._bin(tmp_path)
+        assert TraceSpec(path=path).label == f"file:{path}"
+        assert TraceSpec("mibench", "fft").label == "mibench/fft"
+
+    def test_resolve_opens_mmap(self, tmp_path):
+        trace = TraceSpec(path=self._bin(tmp_path)).resolve()
+        assert trace.mmap_path is not None
+        assert len(trace) == 4
+
+    def test_experiment_toml_round_trip(self, tmp_path):
+        spec = ExperimentSpec(
+            trace=TraceSpec(path=self._bin(tmp_path)),
+            search=SearchSpec(n=12),
+            execution=ExecutionSpec(shard_size=1000),
+        )
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+
+    def test_path_and_registry_rejected(self, tmp_path):
+        with pytest.raises(SpecError, match="not both|not "):
+            TraceSpec("mibench", "fft", path=self._bin(tmp_path))
+
+    def test_scale_with_path_rejected(self, tmp_path):
+        with pytest.raises(SpecError, match="scale"):
+            TraceSpec(path=self._bin(tmp_path), scale="large")
+
+    def test_format_without_path_rejected(self):
+        with pytest.raises(SpecError, match="trace.format"):
+            TraceSpec("mibench", "fft", format="bin")
+
+    def test_unknown_suffix_needs_explicit_format(self, tmp_path):
+        with pytest.raises(SpecError, match="format"):
+            TraceSpec(path=str(tmp_path / "t.weird"))
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(SpecError, match="format"):
+            TraceSpec(path=str(tmp_path / "t.bin"), format="tarball")
+
+    def test_missing_file_fails_at_resolve(self, tmp_path):
+        spec = TraceSpec(path=str(tmp_path / "absent.bin"))
+        with pytest.raises(SpecError, match="absent.bin"):
+            spec.resolve()
+
+    def test_missing_suite_error_mentions_both_options(self):
+        with pytest.raises(SpecError, match="trace.path"):
+            TraceSpec()
+
+
+class TestExecutionShardSize:
+    def test_round_trip(self):
+        spec = ExecutionSpec(shard_size=4096)
+        assert ExecutionSpec.from_dict(spec.to_dict()) == spec
+
+    def test_default_omitted_from_dict(self):
+        assert "shard_size" not in ExecutionSpec().to_dict()
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(SpecError, match="shard_size"):
+            ExecutionSpec(shard_size=0)
+
+    def test_never_enters_spec_digest(self):
+        base = ExperimentSpec(trace=TraceSpec("mibench", "fft"))
+        sharded = ExperimentSpec(
+            trace=TraceSpec("mibench", "fft"),
+            execution=ExecutionSpec(shard_size=512),
+        )
+        assert base.digest == sharded.digest

@@ -274,3 +274,97 @@ class TestSpecDrivenCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["kind"] == "campaign" and len(payload["rows"]) == 1
         assert payload["rows"][0]["spec"]["trace"]["benchmark"] == "qurt"
+
+
+class TestProfileCommand:
+    @pytest.fixture
+    def bin_trace(self, tmp_path):
+        import numpy as np
+
+        from repro.trace import Trace, save_trace_bin
+
+        rng = np.random.default_rng(9)
+        path = tmp_path / "t.bin"
+        save_trace_bin(
+            Trace(rng.integers(0, 400, size=5000, dtype=np.uint64) * 32,
+                  name="cli-test"),
+            path,
+        )
+        return str(path)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile", "mibench", "fft"])
+        assert args.shard_size is None and args.workers is None
+        assert args.n == 16 and args.block_size == 4
+
+    def test_registry_workload(self, capsys):
+        code = main(["profile", "powerstone", "fir", "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accesses:" in out and "compulsory:" in out
+
+    def test_trace_file_sharded(self, capsys, bin_trace, tmp_path):
+        code = main([
+            "profile", "--trace-file", bin_trace, "--block-size", "32",
+            "--cache-kb", "4", "--n", "8", "--shard-size", "1200",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharding:" in out and "5 shard(s)" in out
+
+    def test_warm_replay_expect_cached(self, capsys, bin_trace, tmp_path):
+        argv = [
+            "profile", "--trace-file", bin_trace, "--block-size", "32",
+            "--cache-kb", "4", "--n", "8", "--shard-size", "1200",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--expect-cached"]) == 0
+        assert "0 recomputed" in capsys.readouterr().out
+
+    def test_expect_cached_fails_cold(self, capsys, bin_trace, tmp_path):
+        code = main([
+            "profile", "--trace-file", bin_trace, "--block-size", "32",
+            "--cache-kb", "4", "--n", "8", "--shard-size", "1200",
+            "--cache-dir", str(tmp_path / "cache"), "--expect-cached",
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_json_report(self, capsys, bin_trace):
+        code = main([
+            "profile", "--trace-file", bin_trace, "--block-size", "32",
+            "--cache-kb", "4", "--n", "8", "--shard-size", "1200", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "profile"
+        assert payload["spec"]["trace"]["path"] == bin_trace
+        assert payload["sharding"]["shards"] == 5
+        assert payload["profile"]["accesses"] == 5000
+
+    def test_json_matches_single_pass(self, capsys, bin_trace):
+        argv = ["profile", "--trace-file", bin_trace, "--block-size", "32",
+                "--cache-kb", "4", "--n", "8", "--json"]
+        assert main(argv) == 0
+        single = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--shard-size", "700"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert sharded["digests"]["profile"] == single["digests"]["profile"]
+        assert sharded["profile"] == single["profile"]
+
+    def test_both_sources_rejected(self, capsys, bin_trace):
+        code = main(["profile", "mibench", "fft", "--trace-file", bin_trace])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_no_source_rejected(self, capsys):
+        assert main(["profile"]) == 2
+        assert "trace" in capsys.readouterr().err
+
+    def test_missing_file_rejected(self, capsys, tmp_path):
+        code = main(["profile", "--trace-file", str(tmp_path / "nope.bin")])
+        assert code == 2
+        assert "nope.bin" in capsys.readouterr().err

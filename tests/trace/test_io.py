@@ -1,8 +1,18 @@
 """Round-trip tests for trace persistence."""
 
 import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.trace.io import load_trace, load_trace_text, save_trace, save_trace_text
+from repro.trace.io import (
+    load_trace,
+    load_trace_text,
+    load_trace_text_reference,
+    save_trace,
+    save_trace_text,
+    save_trace_text_reference,
+)
 from repro.trace.trace import Trace
 
 
@@ -51,3 +61,68 @@ class TestTextRoundTrip:
         path.write_text("# name: x\n\n10\n\n20\n")
         loaded = load_trace_text(path)
         assert loaded.addresses.tolist() == [16, 32]
+
+
+class TestVectorizedTextAgainstReference:
+    """The vectorized writer/parser vs the loop versions (the oracles)."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=(1 << 64) - 1),
+            min_size=0,
+            max_size=80,
+        )
+    )
+    def test_save_matches_reference(self, values, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("textio")
+        trace = Trace(np.array(values, dtype=np.uint64), name="prop")
+        fast, slow = tmp_path / "fast.txt", tmp_path / "slow.txt"
+        save_trace_text(trace, fast)
+        save_trace_text_reference(trace, slow)
+        assert fast.read_bytes() == slow.read_bytes()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=(1 << 64) - 1),
+            min_size=0,
+            max_size=80,
+        )
+    )
+    def test_load_matches_reference(self, values, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("textio")
+        path = tmp_path / "t.txt"
+        save_trace_text(Trace(np.array(values, dtype=np.uint64)), path)
+        fast = load_trace_text(path)
+        slow = load_trace_text_reference(path)
+        assert (fast.addresses == slow.addresses).all()
+        assert fast.uops == slow.uops
+
+    def test_uppercase_and_prefixed_hex(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("DEADBEEF\n0xFF\nff\n")
+        fast = load_trace_text(path)
+        slow = load_trace_text_reference(path)
+        assert fast.addresses.tolist() == [0xDEADBEEF, 0xFF, 0xFF]
+        assert (fast.addresses == slow.addresses).all()
+
+    def test_leading_zero_literals(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("0000000000000000000f\n01\n")
+        fast = load_trace_text(path)
+        slow = load_trace_text_reference(path)
+        assert fast.addresses.tolist() == [15, 1]
+        assert (fast.addresses == slow.addresses).all()
+
+    def test_invalid_literal_rejected(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("12\nnotahexnumber\n")
+        with pytest.raises(ValueError):
+            load_trace_text(path)
+
+    def test_max_uint64_round_trips(self, tmp_path):
+        path = tmp_path / "t.txt"
+        trace = Trace(np.array([(1 << 64) - 1, 0], dtype=np.uint64))
+        save_trace_text(trace, path)
+        assert load_trace_text(path).addresses.tolist() == [(1 << 64) - 1, 0]

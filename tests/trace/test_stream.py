@@ -1,0 +1,227 @@
+"""Tests for the streaming trace layer: .bin files, mmap, converters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    BinTraceWriter,
+    Trace,
+    TRACE_FORMATS,
+    convert_to_bin,
+    infer_trace_format,
+    iter_dinero,
+    iter_lackey,
+    iter_trace_text,
+    load_dinero,
+    load_lackey,
+    load_trace,
+    save_trace,
+    save_trace_bin,
+)
+from repro.trace.io import load_trace_text, save_trace_text
+
+
+def _sample():
+    return Trace(
+        np.array([0, 4, 0xDEADBEEF, 1 << 60], dtype=np.uint64),
+        uops=42,
+        name="sample",
+        kind="instruction",
+        metadata={"origin": "unit-test"},
+    )
+
+
+class TestBinRoundTrip:
+    def test_writer_round_trip(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        original = _sample()
+        with BinTraceWriter(
+            path, name=original.name, kind=original.kind,
+            metadata=original.metadata,
+        ) as writer:
+            writer.append(original.addresses[:2])
+            writer.append(original.addresses[2:])
+        loaded = writer.close(uops=original.uops)
+        assert (loaded.addresses == original.addresses).all()
+        assert loaded.uops == original.uops
+        assert loaded.name == original.name
+        assert loaded.kind == original.kind
+        assert loaded.metadata == original.metadata
+        assert loaded.mmap_path == str(path)
+
+    def test_save_trace_bin(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        original = _sample()
+        save_trace_bin(original, path)
+        loaded = Trace.open_mmap(path)
+        assert (loaded.addresses == original.addresses).all()
+        assert loaded.uops == original.uops
+        assert loaded.kind == original.kind
+
+    def test_sidecar_is_json(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        save_trace_bin(_sample(), path)
+        meta = json.loads((tmp_path / "trace.bin.meta.json").read_text())
+        assert meta["name"] == "sample"
+        assert meta["kind"] == "instruction"
+
+    def test_open_without_sidecar(self, tmp_path):
+        path = tmp_path / "bare.bin"
+        np.arange(5, dtype="<u8").tofile(path)
+        loaded = Trace.open_mmap(path)
+        assert (loaded.addresses == np.arange(5)).all()
+        assert loaded.uops == len(loaded)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.touch()
+        loaded = Trace.open_mmap(path)
+        assert len(loaded) == 0
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00" * 12)
+        with pytest.raises(ValueError, match="multiple of 8"):
+            Trace.open_mmap(path)
+
+    def test_digest_matches_in_memory(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        original = _sample()
+        save_trace_bin(original, path)
+        assert Trace.open_mmap(path).digest == original.digest
+
+    def test_digest_streams_in_chunks(self, tmp_path, monkeypatch):
+        import repro.trace.trace as trace_mod
+
+        monkeypatch.setattr(trace_mod, "_DIGEST_CHUNK_BYTES", 16)
+        rng = np.random.default_rng(3)
+        original = Trace(rng.integers(0, 1 << 40, size=100, dtype=np.uint64))
+        path = tmp_path / "trace.bin"
+        save_trace_bin(original, path)
+        assert original.digest == Trace.open_mmap(path).digest
+
+    def test_writer_rejects_after_close(self, tmp_path):
+        writer = BinTraceWriter(tmp_path / "t.bin")
+        writer.append(np.array([1], dtype=np.uint64))
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.append(np.array([2], dtype=np.uint64))
+
+
+class TestFormatInference:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("a.bin", "bin"),
+            ("a.npz", "npz"),
+            ("a.txt", "text"),
+            ("a.text", "text"),
+            ("a.din", "dinero"),
+            ("a.dinero", "dinero"),
+            ("a.lackey", "lackey"),
+        ],
+    )
+    def test_suffixes(self, name, expected):
+        assert infer_trace_format(name) == expected
+        assert expected in TRACE_FORMATS
+
+    def test_unknown_suffix(self):
+        assert infer_trace_format("a.weird") is None
+
+
+class TestStreamingIterators:
+    def _dinero_file(self, tmp_path, lines):
+        path = tmp_path / "t.din"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_iter_dinero_matches_loader(self, tmp_path):
+        lines = [f"{i % 3} {i * 64:x}" for i in range(100)]
+        path = self._dinero_file(tmp_path, lines)
+        whole = load_dinero(path, kinds="unified")
+        batches = list(iter_dinero(path, kinds="unified", batch_lines=7))
+        streamed = np.concatenate([b for b, _ in batches])
+        assert (streamed == whole.addresses).all()
+        assert sum(total for _, total in batches) == whole.uops
+
+    def test_iter_lackey_matches_loader(self, tmp_path):
+        lines = ["I  4000,4", " L 5000,8", " S 6000,4", " M 7000,8"]
+        path = tmp_path / "t.lackey"
+        path.write_text("\n".join(lines) + "\n")
+        whole = load_lackey(path, kinds="data")
+        batches = list(iter_lackey(path, kinds="data", batch_lines=2))
+        streamed = np.concatenate([b for b, _ in batches])
+        assert (streamed == whole.addresses).all()
+
+    def test_iter_trace_text_matches_loader(self, tmp_path):
+        original = _sample()
+        path = tmp_path / "t.txt"
+        save_trace_text(original, path)
+        header: dict = {}
+        batches = list(iter_trace_text(path, batch_lines=2, header=header))
+        streamed = np.concatenate(batches)
+        assert (streamed == original.addresses).all()
+        assert header["name"] == original.name
+        assert header["kind"] == original.kind
+        assert header["uops"] == original.uops
+
+    def test_iter_dinero_bad_line_has_location(self, tmp_path):
+        path = self._dinero_file(tmp_path, ["0 100", "nonsense"])
+        with pytest.raises(ValueError, match=r"t\.din:2"):
+            for _ in iter_dinero(path):
+                pass
+
+
+class TestConvertToBin:
+    def test_from_npz(self, tmp_path):
+        original = _sample()
+        src = tmp_path / "t.npz"
+        save_trace(original, src)
+        dst = tmp_path / "t.bin"
+        converted = convert_to_bin(src, dst)
+        assert converted.digest == original.digest
+        assert converted.name == original.name
+
+    def test_from_text(self, tmp_path):
+        original = _sample()
+        src = tmp_path / "t.txt"
+        save_trace_text(original, src)
+        converted = convert_to_bin(src, tmp_path / "t.bin")
+        assert converted.digest == original.digest
+        assert converted.kind == original.kind
+        assert converted.uops == original.uops
+
+    @pytest.mark.parametrize("kinds", ["data", "instruction", "unified"])
+    def test_from_dinero(self, tmp_path, kinds):
+        src = tmp_path / "t.din"
+        src.write_text("".join(f"{i % 3} {i * 64:x}\n" for i in range(50)))
+        in_memory = load_dinero(src, kinds=kinds)
+        converted = convert_to_bin(
+            src, tmp_path / f"{kinds}.bin", kinds=kinds
+        )
+        assert converted.digest == in_memory.digest
+
+    @pytest.mark.parametrize("kinds", ["data", "instruction", "unified"])
+    def test_from_lackey(self, tmp_path, kinds):
+        src = tmp_path / "t.lackey"
+        src.write_text("I  4000,4\n L 5000,8\n S 6000,4\n M 7000,8\n")
+        in_memory = load_lackey(src, kinds=kinds)
+        converted = convert_to_bin(
+            src, tmp_path / f"{kinds}.bin", kinds=kinds
+        )
+        assert converted.digest == in_memory.digest
+
+    def test_bin_source_rejected(self, tmp_path):
+        src = tmp_path / "t.bin"
+        save_trace_bin(_sample(), src)
+        with pytest.raises(ValueError, match="already"):
+            convert_to_bin(src, tmp_path / "u.bin")
+
+    def test_explicit_format_overrides_suffix(self, tmp_path):
+        original = _sample()
+        src = tmp_path / "t.dat"
+        save_trace_text(original, src)
+        converted = convert_to_bin(src, tmp_path / "t.bin", format="text")
+        assert converted.digest == original.digest
