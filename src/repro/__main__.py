@@ -71,6 +71,37 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="failed-attempt budget per task (exceptions, timeouts, "
+        "dead workers); digest-neutral",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="fail a task attempt after this many seconds and recycle "
+        "its worker (parallel runs only)",
+    )
+    parser.add_argument(
+        "--on-error", choices=("raise", "skip", "retry"), default="raise",
+        help="post-budget policy: abort (raise), record a failed row "
+        "and continue (skip), or raise with a minimum retry budget "
+        "(retry)",
+    )
+
+
+def _resilience_overrides(args: argparse.Namespace) -> dict:
+    """The non-default resilience flags, as with_execution kwargs."""
+    overrides = {}
+    if getattr(args, "retries", 0):
+        overrides["retries"] = args.retries
+    if getattr(args, "task_timeout", None) is not None:
+        overrides["task_timeout"] = args.task_timeout
+    if getattr(args, "on_error", "raise") != "raise":
+        overrides["on_error"] = args.on_error
+    return overrides
+
+
 def _spec_from_args(args: argparse.Namespace, **search_overrides) -> ExperimentSpec:
     """The spec an ``optimize``/``search`` invocation denotes.
 
@@ -189,7 +220,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
             search=SearchSpec(n=args.n),
             execution=ExecutionSpec(
                 shard_size=args.shard_size, workers=args.workers,
-                cache_dir=args.cache_dir,
+                cache_dir=args.cache_dir, **_resilience_overrides(args),
             ),
         )
         trace = spec.trace.resolve()
@@ -204,6 +235,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
             trace, geometry, spec.search.n,
             shard_size=spec.execution.shard_size,
             workers=spec.execution.workers,
+            retries=spec.execution.retries,
+            task_timeout=spec.execution.task_timeout,
+            on_error=spec.execution.on_error,
         )
         profile = sharded.profile
     else:
@@ -259,6 +293,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         return _fail(error)
     if args.cache_dir:
         spec = spec.with_execution(cache_dir=args.cache_dir)
+    overrides = _resilience_overrides(args)
+    if overrides:
+        spec = spec.with_execution(**overrides)
     if args.dry_run:
         print(f"spec ok: {spec.describe()}")
         print(f"digest:  {spec.digest}")
@@ -384,6 +421,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if not specs:
         print("error: the campaign grid is empty", file=sys.stderr)
         return 2
+    overrides = _resilience_overrides(args)
+    if overrides:
+        specs = [spec.with_execution(**overrides) for spec in specs]
     session = Session(
         cache_dir=args.cache_dir if args.cache_dir else default_cache_dir(),
         workers=args.workers,
@@ -484,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--expect-cached", action="store_true",
         help="exit non-zero if any artifact had to be (re)computed",
     )
+    _add_resilience_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_spec = sub.add_parser(
@@ -589,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero if any shard had to be (re)computed "
              "(CI warm-cache check)",
     )
+    _add_resilience_args(p_prof)
     p_prof.set_defaults(func=cmd_profile)
 
     p_search = sub.add_parser(
@@ -681,6 +723,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero if any artifact had to be (re)computed "
              "(CI warm-cache check)",
     )
+    _add_resilience_args(p_camp)
     p_camp.set_defaults(func=cmd_campaign)
 
     p_tab = sub.add_parser("tables", help="regenerate paper tables")

@@ -135,6 +135,11 @@ def optimization_report(
 ) -> dict[str, Any]:
     """The ``kind="optimization"`` report for one end-to-end run."""
     spec = spec if spec is not None else result.spec
+    environment: dict[str, Any] = {"backend": result.backend or None}
+    # Only present when something degraded (e.g. a kernel fell back to
+    # NumPy); the common all-clean report layout is unchanged.
+    if result.warnings:
+        environment["warnings"] = list(result.warnings)
     return {
         "schema": REPORT_SCHEMA,
         "kind": "optimization",
@@ -145,7 +150,7 @@ def optimization_report(
             "profile": result.profile_digest
             or (result.profile.digest if result.profile is not None else None),
         },
-        "environment": {"backend": result.backend or None},
+        "environment": environment,
         "trace_name": result.trace_name,
         "family": result.family_name,
         "function": _function_to_json(result.hash_function),
@@ -188,6 +193,7 @@ def optimization_from_report(payload: Mapping[str, Any]) -> "OptimizationResult"
         trace_digest=(payload.get("digests") or {}).get("trace") or "",
         profile_digest=(payload.get("digests") or {}).get("profile") or "",
         backend=(payload.get("environment") or {}).get("backend") or "",
+        warnings=list((payload.get("environment") or {}).get("warnings") or []),
     )
 
 
@@ -266,7 +272,7 @@ def row_report(row: "CampaignRow") -> dict[str, Any]:
     from repro.api.session import task_to_spec
 
     spec = task_to_spec(row.task, search_seed=row.search_seed)
-    return {
+    payload = {
         "spec": spec.to_dict(),
         "digests": {"spec": spec.digest},
         "base_misses": row.base_misses,
@@ -278,6 +284,13 @@ def row_report(row: "CampaignRow") -> dict[str, Any]:
         "search_seed": row.search_seed,
         "seconds": row.seconds,
     }
+    # Failure metadata appears only on failed rows: a retried-but-
+    # healed run's report stays byte-identical to a fault-free run's.
+    if row.status != "ok":
+        payload["status"] = row.status
+        payload["error"] = row.error
+        payload["attempts"] = row.attempts
+    return payload
 
 
 def row_from_report(payload: Mapping[str, Any]) -> "CampaignRow":
@@ -295,6 +308,9 @@ def row_from_report(payload: Mapping[str, Any]) -> "CampaignRow":
         uops=int(payload["uops"]),
         search_seed=int(payload["search_seed"]),
         seconds=float(payload["seconds"]),
+        status=payload.get("status", "ok"),
+        error=payload.get("error"),
+        attempts=int(payload.get("attempts", 1)),
     )
 
 

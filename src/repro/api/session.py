@@ -280,6 +280,17 @@ class Session:
                     "set Session(workers=...) to override",
                     field="execution.workers",
                 )
+        # The resilience policy is likewise one per campaign: a pool
+        # cannot retry some rows under one budget and others under
+        # another without the row order becoming policy-dependent.
+        for name in ("retries", "task_timeout", "on_error"):
+            values = {getattr(spec.execution, name) for spec in specs}
+            if len(values) > 1:
+                raise SpecError(
+                    f"campaign specs disagree on execution.{name} "
+                    f"({', '.join(sorted(map(repr, values)))}); align them",
+                    field=f"execution.{name}",
+                )
         return specs[0].execution
 
     # -- running specs -----------------------------------------------------
@@ -307,6 +318,9 @@ class Session:
             spec.search.n,
             shard_size=spec.execution.shard_size,
             workers=self._effective_workers(spec.execution),
+            retries=spec.execution.retries,
+            task_timeout=spec.execution.task_timeout,
+            on_error=spec.execution.on_error,
         )
 
     def optimize(self, spec: SpecLike):
@@ -317,7 +331,7 @@ class Session:
         :class:`~repro.core.optimizer.OptimizationResult` with the spec
         attached (``result.spec``), so ``result.to_json()`` embeds it.
         """
-        from repro.backend import use_backend
+        from repro.backend import degradation_events, use_backend
         from repro.core.optimizer import optimize_for_trace
 
         spec = ExperimentSpec.coerce(spec)
@@ -335,7 +349,11 @@ class Session:
                 spec.search.n,
                 shard_size=spec.execution.shard_size,
                 workers=self._effective_workers(spec.execution),
+                retries=spec.execution.retries,
+                task_timeout=spec.execution.task_timeout,
+                on_error=spec.execution.on_error,
             )
+        seen_degradations = len(degradation_events())
         with use_backend(spec.execution.backend) as backend:
             result = optimize_for_trace(
                 trace,
@@ -352,6 +370,9 @@ class Session:
         result.spec = spec
         result.trace_digest = trace.digest
         result.backend = backend.name
+        # Kernel degradations during this run (e.g. a JIT failure that
+        # fell back to NumPy) surface in the report's environment.
+        result.warnings = list(degradation_events()[seen_degradations:])
         return result
 
     def campaign(
@@ -383,6 +404,9 @@ class Session:
             workers=self._effective_workers(execution),
             base_seed=base_seed,
             keep_details=keep_details,
+            retries=execution.retries,
+            task_timeout=execution.task_timeout,
+            on_error=execution.on_error,
         )
 
     def sweep(

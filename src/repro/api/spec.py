@@ -366,12 +366,42 @@ class ExecutionSpec:
     #: single-pass kernel).  Sharding is bit-identical, so — like every
     #: execution field — it never enters the spec digest.
     shard_size: int | None = None
+    #: Failed-attempt budget per campaign/shard task (exceptions,
+    #: timeouts, dead workers).  Retried runs replay from the same
+    #: artifacts — digest-neutral like every execution field.
+    retries: int = 0
+    #: Seconds before a task attempt is failed and its worker recycled
+    #: (``None`` = no limit; parallel runs only).
+    task_timeout: float | None = None
+    #: Post-budget policy: ``"raise"`` aborts, ``"skip"`` records a
+    #: failed row and continues (campaigns only; sharded profiling
+    #: coerces to raise), ``"retry"`` raises but guarantees a minimum
+    #: retry budget.
+    on_error: str = "raise"
 
     def __post_init__(self):
         if self.workers is not None:
             _require_int(self.workers, "execution.workers", minimum=0)
         if self.shard_size is not None:
             _require_int(self.shard_size, "execution.shard_size", minimum=1)
+        _require_int(self.retries, "execution.retries", minimum=0)
+        if self.task_timeout is not None:
+            if (
+                isinstance(self.task_timeout, bool)
+                or not isinstance(self.task_timeout, (int, float))
+                or not self.task_timeout > 0
+            ):
+                raise SpecError(
+                    f"expected a positive number of seconds, got "
+                    f"{self.task_timeout!r}",
+                    field="execution.task_timeout",
+                )
+        if self.on_error not in ("raise", "skip", "retry"):
+            raise SpecError(
+                f"unknown on_error policy {self.on_error!r}; choose from "
+                "raise, skip, retry",
+                field="execution.on_error",
+            )
         if self.cache_dir is not None and not isinstance(self.cache_dir, str):
             raise SpecError(
                 f"expected a path string, got {self.cache_dir!r}",
@@ -394,10 +424,18 @@ class ExecutionSpec:
 
     def to_dict(self) -> dict[str, Any]:
         payload = asdict(self)
+        # Newer execution fields are omitted at their defaults so older
+        # serializations (and the reports echoing them) stay
+        # byte-stable — and so a resilient-but-healed run's report is
+        # byte-identical to a plain run's.
         if self.shard_size is None:
-            # Keep pre-sharding serializations (and the reports echoing
-            # them) byte-stable.
             del payload["shard_size"]
+        if self.retries == 0:
+            del payload["retries"]
+        if self.task_timeout is None:
+            del payload["task_timeout"]
+        if self.on_error == "raise":
+            del payload["on_error"]
         return payload
 
     @classmethod

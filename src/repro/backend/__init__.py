@@ -12,6 +12,8 @@ from repro.backend.registry import (
     available_backends,
     backend_names,
     backend_status,
+    clear_degradations,
+    degradation_events,
     get_backend,
     register_backend,
     use_backend,
@@ -27,6 +29,8 @@ __all__ = [
     "available_backends",
     "backend_names",
     "backend_status",
+    "clear_degradations",
+    "degradation_events",
     "get_backend",
     "register_backend",
     "use_backend",

@@ -31,8 +31,10 @@ is recorded in ``repro-report/v1`` metadata but never enters
 from __future__ import annotations
 
 import contextlib
+import functools
 import os
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 __all__ = [
@@ -44,6 +46,8 @@ __all__ = [
     "get_backend",
     "active_backend",
     "use_backend",
+    "degradation_events",
+    "clear_degradations",
     "BACKEND_ENV_VAR",
 ]
 
@@ -87,11 +91,99 @@ class Backend:
 _REGISTRY: dict[str, Backend] = {}
 _OVERRIDES: list[str] = []
 
+#: The fallback backend a degraded kernel re-runs on.
+FALLBACK_BACKEND = "numpy"
+
+# Unwrapped kernels by (backend, kernel) — the fallback path calls the
+# raw NumPy kernel directly (no re-injection, no double accounting).
+_RAW_KERNELS: dict[tuple[str, str], Callable] = {}
+
+# (backend, kernel) pairs that degraded this process, in event order,
+# with their one-line messages.  ``Session.optimize`` drains these into
+# ``OptimizationResult.warnings`` / report ``environment.warnings``.
+_DEGRADED: set[tuple[str, str]] = set()
+_DEGRADATION_LOG: list[str] = []
+
+
+def degradation_events() -> list[str]:
+    """Degradation messages recorded in this process, oldest first."""
+    return list(_DEGRADATION_LOG)
+
+
+def clear_degradations() -> None:
+    """Forget recorded degradations (tests; a degraded JIT kernel is
+    retried again after this)."""
+    _DEGRADED.clear()
+    _DEGRADATION_LOG.clear()
+
+
+def _record_degradation(name: str, kernel_name: str, error: Exception) -> None:
+    message = (
+        f"compute backend {name!r} kernel {kernel_name!r} failed at runtime "
+        f"({type(error).__name__}: {error}); falling back to "
+        f"{FALLBACK_BACKEND!r} for this kernel"
+    )
+    _DEGRADATION_LOG.append(message)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def _with_fallback(name: str, kernel_name: str, kernel: Callable) -> Callable:
+    """Wrap a kernel with fault injection + graceful degradation.
+
+    A runtime failure in a non-NumPy kernel (e.g. a Numba JIT error on
+    an exotic dtype) re-runs the call on the raw NumPy kernel — every
+    backend is bit-identical, so results are unaffected — records the
+    degradation once per (backend, kernel), and stops retrying the
+    broken kernel.  NumPy itself has no fallback: its failures raise.
+    """
+
+    @functools.wraps(kernel)
+    def wrapped(*args, **kwargs):
+        # Lazily imported: repro.pipeline.context imports the engine,
+        # which imports this package — a module-level import of the
+        # pipeline would be circular.
+        from repro.pipeline.faults import maybe_inject
+
+        fallback = _RAW_KERNELS.get((FALLBACK_BACKEND, kernel_name))
+        degradable = name != FALLBACK_BACKEND and fallback is not None
+        # Injection sits OUTSIDE the try: an injected fault must reach
+        # the task-retry layer, not be swallowed by the fallback.
+        maybe_inject("backend.kernel", f"{name}/{kernel_name}")
+        if degradable and (name, kernel_name) in _DEGRADED:
+            return fallback(*args, **kwargs)
+        try:
+            return kernel(*args, **kwargs)
+        except Exception as error:
+            if not degradable:
+                raise
+            if (name, kernel_name) not in _DEGRADED:
+                _DEGRADED.add((name, kernel_name))
+                _record_degradation(name, kernel_name, error)
+            return fallback(*args, **kwargs)
+
+    return wrapped
+
 
 def register_backend(backend: Backend) -> Backend:
-    """Register (or replace) a backend under its name."""
-    _REGISTRY[backend.name] = backend
-    return backend
+    """Register (or replace) a backend under its name.
+
+    Kernels are wrapped at registration with the fault-injection site
+    ``backend.kernel`` and (for non-NumPy backends) graceful runtime
+    degradation to the NumPy kernels.
+    """
+    _RAW_KERNELS[(backend.name, "lru_depth_at_least")] = backend.lru_depth_at_least
+    _RAW_KERNELS[(backend.name, "skewed_misses")] = backend.skewed_misses
+    wrapped = replace(
+        backend,
+        lru_depth_at_least=_with_fallback(
+            backend.name, "lru_depth_at_least", backend.lru_depth_at_least
+        ),
+        skewed_misses=_with_fallback(
+            backend.name, "skewed_misses", backend.skewed_misses
+        ),
+    )
+    _REGISTRY[backend.name] = wrapped
+    return wrapped
 
 
 def backend_names() -> list[str]:

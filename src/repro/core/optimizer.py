@@ -66,6 +66,11 @@ class OptimizationResult:
     #: only — every backend computes bit-identical results — so it is
     #: excluded from equality like the spec.
     backend: str = field(default="", compare=False)
+    #: Degradation warnings recorded during the run (e.g. a JIT kernel
+    #: failing at runtime and falling back to NumPy).  Execution
+    #: metadata like ``backend``: results are unaffected, reports carry
+    #: it under ``environment.warnings`` only when non-empty.
+    warnings: list[str] = field(default_factory=list, compare=False)
 
     @property
     def removed_percent(self) -> float:

@@ -14,7 +14,11 @@ Three pieces:
 * :func:`~repro.pipeline.campaign.run_campaign` — process-pool
   execution of benchmark x geometry x family grids with deterministic
   per-task seeds, shared by ``repro campaign``, ``repro tables`` and
-  the table benchmarks.
+  the table benchmarks.  Execution is *resilient*
+  (:mod:`repro.pipeline.resilience`): bounded retries with backoff,
+  per-task timeouts, worker-crash recovery and an ``on_error`` policy —
+  all testable through the deterministic fault-injection harness in
+  :mod:`repro.pipeline.faults`.
 """
 
 from repro.pipeline.artifact_cache import ArtifactCache, default_cache_dir, stable_key
@@ -27,6 +31,17 @@ from repro.pipeline.campaign import (
     run_campaign,
 )
 from repro.pipeline.context import PipelineContext
+from repro.pipeline.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FAULTS_ENV,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    use_faults,
+)
+from repro.pipeline.resilience import TaskOutcome, run_resilient, run_serial_resilient
 from repro.pipeline.runtime import current_context, use_context
 
 __all__ = [
@@ -42,4 +57,15 @@ __all__ = [
     "build_grid",
     "run_campaign",
     "format_campaign",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FAULTS_ENV",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "use_faults",
+    "TaskOutcome",
+    "run_resilient",
+    "run_serial_resilient",
 ]

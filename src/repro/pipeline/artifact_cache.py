@@ -13,6 +13,13 @@ Layout: ``<root>/<kind>/<key[:2]>/<key>.<json|npz>`` with atomic
 (write-temp-then-rename) stores, so concurrent campaign workers can
 share one cache directory without locking: the worst case is two
 workers computing the same artifact and one rename winning.
+
+The cache is *self-healing*: every store writes a ``.sha256`` sidecar,
+every load verifies it, and an entry that fails verification — or
+fails to parse at all (torn write, truncated archive, bad zip) — is
+moved to ``<root>/.quarantine/`` and reported as a miss, so the caller
+transparently recomputes it.  Entries predating the sidecars verify as
+legacy (accepted unchecked) until their next store.
 """
 
 from __future__ import annotations
@@ -21,14 +28,22 @@ import hashlib
 import json
 import os
 import tempfile
+import zipfile
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from repro.pipeline.faults import FaultInjected, maybe_inject, should_corrupt
 from repro.profiling.conflict_profile import ConflictProfile
 
 __all__ = ["ArtifactCache", "default_cache_dir", "stable_key"]
+
+#: Exceptions that mean "this artifact cannot be read": I/O errors,
+#: missing archive members, torn zip archives (``zipfile.BadZipFile``),
+#: and short reads inside an archive (``EOFError``) all count as cache
+#: misses, never as crashes.
+LOAD_ERRORS = (OSError, KeyError, ValueError, zipfile.BadZipFile, EOFError)
 
 #: Environment override for the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -71,7 +86,9 @@ class ArtifactCache:
         per_kind = self.counters.setdefault(
             kind, {"hits": 0, "misses": 0, "stores": 0}
         )
-        per_kind[event] += 1
+        # Beyond the standard three, events ("quarantined") appear
+        # lazily, so the common counter dicts keep their stable shape.
+        per_kind[event] = per_kind.get(event, 0) + 1
 
     @property
     def hits(self) -> int:
@@ -94,6 +111,23 @@ class ArtifactCache:
     def path_for(self, kind: str, key: str, suffix: str) -> Path:
         return self.root / kind / key[:2] / f"{key}{suffix}"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved (created on first use)."""
+        return self.root / ".quarantine"
+
+    @staticmethod
+    def _checksum_path(path: Path) -> Path:
+        return path.with_name(path.name + ".sha256")
+
+    @staticmethod
+    def _file_digest(path: Path) -> str:
+        digest = hashlib.sha256()
+        with open(path, "rb") as fh:
+            while chunk := fh.read(1 << 20):
+                digest.update(chunk)
+        return digest.hexdigest()
+
     def _store_atomic(self, path: Path, write) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -102,6 +136,7 @@ class ArtifactCache:
         os.close(fd)
         try:
             write(Path(tmp))
+            digest = self._file_digest(Path(tmp))
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -109,15 +144,83 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
+        # Sidecar lands after the artifact: a crash in between leaves a
+        # legacy (sidecar-less) entry, which loads accept unchecked.
+        # Concurrent same-key stores are safe — artifacts are content-
+        # addressed, so both writers produce the same digest.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".sha256")
+        try:
+            os.write(fd, (digest + "\n").encode())
+        finally:
+            os.close(fd)
+        os.replace(tmp, self._checksum_path(path))
+
+    # -- self-healing ------------------------------------------------------
+
+    def _quarantine(self, kind: str, path: Path) -> None:
+        """Move a corrupt entry (and its sidecar) out of the live tree."""
+        qdir = self.quarantine_dir
+        qdir.mkdir(parents=True, exist_ok=True)
+        moved = False
+        for victim in (path, self._checksum_path(path)):
+            try:
+                os.replace(victim, qdir / f"{kind}-{victim.name}")
+                moved = True
+            except OSError:
+                pass
+        if moved:
+            self._bump(kind, "quarantined")
+
+    def _usable(self, kind: str, key: str, path: Path) -> bool:
+        """Pre-parse gate: fault hooks + checksum verification.
+
+        Returns False for anything that must be treated as a miss; a
+        checksum mismatch additionally quarantines the entry so the
+        recompute's store starts clean.
+        """
+        # An injected cache.load error is a plain miss — the entry on
+        # disk is healthy, so it must NOT be quarantined.
+        maybe_inject("cache.load", f"{kind}/{key}")
+        if not path.exists():
+            return False
+        if should_corrupt("cache.load", f"{kind}/{key}"):
+            # Simulate a torn write physically: the verification and
+            # quarantine paths below must then heal it end to end.
+            try:
+                with open(path, "r+b") as fh:
+                    fh.truncate(max(path.stat().st_size // 2, 1))
+            except OSError:
+                pass
+        sidecar = self._checksum_path(path)
+        try:
+            expected = sidecar.read_text().strip()
+        except OSError:
+            return True  # legacy entry: no sidecar to check against
+        try:
+            actual = self._file_digest(path)
+        except OSError:
+            return False
+        if actual == expected:
+            return True
+        self._quarantine(kind, path)
+        return False
 
     # -- JSON artifacts ----------------------------------------------------
 
     def load_json(self, kind: str, key: str) -> dict | None:
         path = self.path_for(kind, key, ".json")
         try:
-            with open(path) as fh:
-                payload = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+            if not self._usable(kind, key, path):
+                raise FaultInjected  # unified miss path below
+            try:
+                with open(path) as fh:
+                    payload = json.load(fh)
+            except json.JSONDecodeError:
+                # Checksum passed (or legacy) but the content is not
+                # JSON: the entry is damaged beyond a short read.
+                self._quarantine(kind, path)
+                raise FaultInjected from None
+        except (FaultInjected, *LOAD_ERRORS):
             self._bump(kind, "misses")
             return None
         self._bump(kind, "hits")
@@ -137,8 +240,16 @@ class ArtifactCache:
         partials."""
         path = self.path_for(kind, key, ".npz")
         try:
-            profile = ConflictProfile.load(path)
-        except (OSError, KeyError, ValueError):
+            if not self._usable(kind, key, path):
+                raise FaultInjected  # unified miss path below
+            try:
+                profile = ConflictProfile.load(path)
+            except FileNotFoundError:
+                raise FaultInjected from None
+            except LOAD_ERRORS:
+                self._quarantine(kind, path)
+                raise FaultInjected from None
+        except FaultInjected:
             self._bump(kind, "misses")
             return None
         self._bump(kind, "hits")
@@ -157,9 +268,17 @@ class ArtifactCache:
         """Load an npz bundle of named arrays (e.g. shard scan states)."""
         path = self.path_for(kind, key, ".npz")
         try:
-            with np.load(path) as data:
-                payload = {name: data[name] for name in data.files}
-        except (OSError, KeyError, ValueError):
+            if not self._usable(kind, key, path):
+                raise FaultInjected  # unified miss path below
+            try:
+                with np.load(path) as data:
+                    payload = {name: data[name] for name in data.files}
+            except FileNotFoundError:
+                raise FaultInjected from None
+            except LOAD_ERRORS:
+                self._quarantine(kind, path)
+                raise FaultInjected from None
+        except FaultInjected:
             self._bump(kind, "misses")
             return None
         self._bump(kind, "hits")

@@ -15,17 +15,23 @@ on worker count, scheduling order, or which process picks a task up.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import os
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
 from repro.cache.geometry import PAPER_HASHED_BITS, CacheGeometry
 from repro.pipeline.context import PipelineContext
+from repro.pipeline.faults import maybe_inject
+from repro.pipeline.resilience import (
+    TaskOutcome,
+    run_resilient,
+    run_serial_resilient,
+)
 from repro.pipeline.runtime import current_context
 from repro.workloads.registry import get_workload
 
@@ -94,24 +100,49 @@ class CampaignTask:
         digest = hashlib.sha256(ident.encode()).digest()
         return (base_seed + int.from_bytes(digest[:4], "big")) & 0x7FFFFFFF
 
+    def fault_key(self) -> str:
+        """Stable identity string for fault-injection draws.
+
+        Includes every identity field, so a plan faults the same cells
+        of a grid regardless of task order, worker count, or base seed.
+        """
+        return (
+            f"{self.suite}/{self.benchmark}/{self.kind}/{self.scale}/"
+            f"{self.cache_bytes}/{self.block_size}/{self.family}/{self.n}/"
+            f"{self.workload_seed}/{self.strategy}/a{self.associativity}"
+        )
+
 
 @dataclass
 class CampaignRow:
     """Result of one task, light enough to ship back from a worker."""
 
     task: CampaignTask
-    base_misses: int
-    optimized_misses: int
-    base_misses_per_kuop: float
-    removed_percent: float
-    accesses: int
-    uops: int
-    search_seed: int
-    seconds: float
+    base_misses: int = 0
+    optimized_misses: int = 0
+    base_misses_per_kuop: float = 0.0
+    removed_percent: float = 0.0
+    accesses: int = 0
+    uops: int = 0
+    search_seed: int = 0
+    seconds: float = 0.0
     cache_stats: dict[str, dict[str, int]] = field(default_factory=dict)
     #: Full :class:`OptimizationResult`, present only with
     #: ``keep_details=True``.
     result: "OptimizationResult | None" = None
+    #: ``"ok"``, or ``"failed"`` for a task that exhausted its retry
+    #: budget under ``on_error="skip"`` (metrics above are then zero).
+    status: str = "ok"
+    #: Last error message of a failed task (``None`` when ok).
+    error: str | None = None
+    #: Execution attempts the task took (1 on a clean first run).  Only
+    #: serialized for failed rows, so a retried-but-healed run's report
+    #: stays bit-identical to a fault-free run's.
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def to_json(self) -> dict:
         """The row's ``repro-report/v1`` payload (spec echoed inside)."""
@@ -142,8 +173,15 @@ class CampaignResult:
         for row in self.rows:
             for per_kind in row.cache_stats.values():
                 for event, count in per_kind.items():
-                    totals[event] += count
+                    # Events beyond the standard three (e.g. the
+                    # self-healing cache's "quarantined") appear lazily.
+                    totals[event] = totals.get(event, 0) + count
         return totals
+
+    @property
+    def failed_rows(self) -> list[CampaignRow]:
+        """Rows whose task exhausted its budget (``on_error="skip"``)."""
+        return [row for row in self.rows if not row.ok]
 
     @property
     def fully_cached(self) -> bool:
@@ -289,6 +327,10 @@ def _run_task(
     """Execute one task (top level so the process pool can pickle it)."""
     from repro.core.optimizer import optimize_for_trace
 
+    # Injected before any side effects (cache reads, memo fills): a
+    # retried attempt then redoes exactly what a clean first attempt
+    # would have, keeping fault-injected reports bit-identical.
+    maybe_inject("campaign.task", task.fault_key())
     global _worker_context
     if context is None:
         if _worker_context is None or _worker_cache_dir != cache_dir:
@@ -329,12 +371,38 @@ def _run_task(
     )
 
 
+def _rows_from_outcomes(
+    tasks: Sequence[CampaignTask],
+    outcomes: Sequence[TaskOutcome],
+    base_seed: int,
+) -> list[CampaignRow]:
+    """Turn executor outcomes into rows, one per task, in task order."""
+    rows = []
+    for task, outcome in zip(tasks, outcomes):
+        if outcome.ok:
+            row = outcome.value
+            row.attempts = outcome.attempts
+        else:
+            row = CampaignRow(
+                task=task,
+                search_seed=task.derive_seed(base_seed),
+                status="failed",
+                error=outcome.error,
+                attempts=outcome.attempts,
+            )
+        rows.append(row)
+    return rows
+
+
 def run_campaign(
     tasks: Sequence[CampaignTask],
     cache_dir: str | Path | None = None,
     workers: int | None = None,
     base_seed: int = 0,
     keep_details: bool = False,
+    retries: int = 0,
+    task_timeout: float | None = None,
+    on_error: str = "raise",
 ) -> CampaignResult:
     """Run a task grid through the artifact cache, fanning out on cores.
 
@@ -357,6 +425,20 @@ def run_campaign(
         Attach the full :class:`OptimizationResult` to each row (the
         table drivers need it; costs pickling the conflict profile back
         from each worker).
+    retries:
+        Failed-attempt budget per task (exceptions, timeouts, worker
+        deaths); retried with exponential backoff + deterministic
+        jitter.  Digest-neutral: retried runs replay from the same
+        artifacts.
+    task_timeout:
+        Seconds before a task attempt is failed and its worker pool
+        recycled (``None`` = no limit; ignored for serial runs, which
+        cannot abandon an in-process call).
+    on_error:
+        What to do when a task exhausts its budget: ``"raise"`` aborts
+        the campaign (default), ``"skip"`` records a failed row and
+        continues, ``"retry"`` raises but guarantees a minimum retry
+        budget even when ``retries`` is 0.
     """
     tasks = list(tasks)
     cache_dir, workers, serial_context = _resolve_execution(
@@ -366,10 +448,14 @@ def run_campaign(
     t0 = time.perf_counter()
     if workers == 1 or len(tasks) <= 1:
         # Serial: one shared context so the in-memory memo spans tasks.
-        rows = [
-            _run_task(task, cache_dir, base_seed, keep_details, context=serial_context)
-            for task in tasks
-        ]
+        fn = functools.partial(
+            _run_task,
+            cache_dir=cache_dir,
+            base_seed=base_seed,
+            keep_details=keep_details,
+            context=serial_context,
+        )
+        outcomes = run_serial_resilient(fn, tasks, retries=retries, on_error=on_error)
         workers = 1
     else:
         # Without a cache the workers' memos would be private and a
@@ -384,25 +470,26 @@ def run_campaign(
         )
         pool_cache_dir = ephemeral.name if ephemeral is not None else cache_dir
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
+            outcomes = run_resilient(
+                functools.partial(
+                    _run_task,
+                    cache_dir=pool_cache_dir,
+                    base_seed=base_seed,
+                    keep_details=keep_details,
+                ),
+                tasks,
+                workers=workers,
+                retries=retries,
+                task_timeout=task_timeout,
+                on_error=on_error,
                 initializer=_init_worker,
                 initargs=(pool_cache_dir,),
-            ) as pool:
-                rows = list(
-                    pool.map(
-                        _run_task,
-                        tasks,
-                        [pool_cache_dir] * len(tasks),
-                        [base_seed] * len(tasks),
-                        [keep_details] * len(tasks),
-                    )
-                )
+            )
         finally:
             if ephemeral is not None:
                 ephemeral.cleanup()
     return CampaignResult(
-        rows=rows,
+        rows=_rows_from_outcomes(tasks, outcomes, base_seed),
         workers=workers,
         cache_dir=cache_dir,
         seconds=time.perf_counter() - t0,
@@ -423,14 +510,19 @@ def map_with_context(
     items: Sequence,
     cache_dir: str | Path | None = None,
     workers: int | None = 1,
+    retries: int = 0,
+    task_timeout: float | None = None,
+    on_error: str = "raise",
 ):
     """``[fn(item) for item in items]`` with a pipeline context active.
 
     The generic sibling of :func:`run_campaign` for drivers whose rows
     are not plain (benchmark, geometry, family) cells — e.g. Table 3's
-    exhaustive-optimum column.  ``fn`` must be picklable (a top-level
-    function or :func:`functools.partial` of one) when ``workers > 1``.
-    Result order follows ``items``.
+    exhaustive-optimum column and the sharded profiler.  ``fn`` must be
+    picklable (a top-level function or :func:`functools.partial` of
+    one) when ``workers > 1``.  Result order follows ``items``; the
+    resilience knobs match :func:`run_campaign` (under
+    ``on_error="skip"`` a failed item's result is ``None``).
     """
     items = list(items)
     cache_dir, workers, serial_context = _resolve_execution(
@@ -440,13 +532,21 @@ def map_with_context(
         from repro.pipeline.runtime import use_context
 
         with use_context(serial_context):
-            return [fn(item) for item in items]
-    with ProcessPoolExecutor(
-        max_workers=workers,
+            outcomes = run_serial_resilient(
+                fn, items, retries=retries, on_error=on_error
+            )
+        return [outcome.value for outcome in outcomes]
+    outcomes = run_resilient(
+        functools.partial(_call_with_context, fn),
+        items,
+        workers=workers,
+        retries=retries,
+        task_timeout=task_timeout,
+        on_error=on_error,
         initializer=_init_worker,
         initargs=(cache_dir,),
-    ) as pool:
-        return list(pool.map(_call_with_context, [fn] * len(items), items))
+    )
+    return [outcome.value for outcome in outcomes]
 
 
 def format_campaign(result: CampaignResult) -> str:
@@ -464,13 +564,16 @@ def format_campaign(result: CampaignResult) -> str:
             row.task.family,
             row.base_misses_per_kuop,
             row.removed_percent,
-            f"{row.seconds:.2f}s",
+            f"{row.seconds:.2f}s" if row.ok else "FAILED",
         ]
         for row in result.rows
     ]
     totals = result.cache_totals()
+    failed = len(result.failed_rows)
     footer = (
-        f"{len(result.rows)} tasks, {result.workers} worker(s), "
+        f"{len(result.rows)} tasks"
+        + (f" ({failed} FAILED)" if failed else "")
+        + f", {result.workers} worker(s), "
         f"{result.seconds:.2f}s wall; cache: {totals['hits']} hits, "
         f"{totals['misses']} misses, {totals['stores']} stores"
         + (f" @ {result.cache_dir}" if result.cache_dir else " (in-memory)")

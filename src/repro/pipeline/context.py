@@ -116,6 +116,9 @@ class PipelineContext:
         n: int,
         shard_size: int | None = None,
         workers: int | None = None,
+        retries: int = 0,
+        task_timeout: float | None = None,
+        on_error: str = "raise",
     ) -> ConflictProfile:
         """Cached :func:`repro.profiling.profile_trace`.
 
@@ -144,6 +147,9 @@ class PipelineContext:
                     shard_size=shard_size,
                     workers=workers,
                     context=self,
+                    retries=retries,
+                    task_timeout=task_timeout,
+                    on_error=on_error,
                 ).profile
             else:
                 blocks = trace.block_addresses(geometry.block_size)
@@ -160,6 +166,9 @@ class PipelineContext:
         n: int,
         shard_size: int,
         workers: int | None = None,
+        retries: int = 0,
+        task_timeout: float | None = None,
+        on_error: str = "raise",
     ):
         """Run the sharded driver and return its full
         :class:`~repro.profiling.sharded.ShardedProfileResult`.
@@ -173,7 +182,15 @@ class PipelineContext:
         from repro.profiling.sharded import run_sharded_profile
 
         result = run_sharded_profile(
-            trace, geometry, n, shard_size=shard_size, workers=workers, context=self
+            trace,
+            geometry,
+            n,
+            shard_size=shard_size,
+            workers=workers,
+            context=self,
+            retries=retries,
+            task_timeout=task_timeout,
+            on_error=on_error,
         )
         key = self._profile_key(trace, geometry, n)
         if self.cache is not None:

@@ -1,0 +1,333 @@
+"""Deterministic, seeded fault injection for the execution stack.
+
+The resilience layer (retries, timeouts, crash recovery, self-healing
+cache) is only trustworthy if it can be *tested*, and only useful in a
+reproducibility toolkit if injected faults never change results.  This
+module provides both properties:
+
+* **Named injection sites.**  Code that wants to be testable calls
+  :func:`maybe_inject` (or, for torn-write simulation,
+  :func:`should_corrupt`) with a site name and a stable operation key.
+  The shipped sites are :data:`FAULT_SITES`:
+
+  - ``campaign.task``   — entry of one campaign task in a worker;
+  - ``shard.profile``   — entry of one shard scan/profile task;
+  - ``cache.load``      — an artifact-cache read;
+  - ``backend.kernel``  — a compute-backend kernel call.
+
+* **Deterministic draws.**  Whether a fault fires is a pure function of
+  ``(site, seed, key, attempt)`` — a SHA-256 hash compared against the
+  site's probability — never of wall-clock, scheduling, worker count or
+  RNG state.  The same plan over the same work always faults the same
+  operations, on any machine.
+
+* **Bounded faults.**  A faulty ``(site, key)`` pair faults on attempts
+  ``0 .. count-1`` and then succeeds, so ``retries >= count`` provably
+  heals every injected fault and the run's report is bit-identical to a
+  fault-free run (property-tested in ``tests/pipeline``).
+
+Plans come from the :data:`FAULTS_ENV` environment variable (inherited
+by campaign worker processes) or an in-process :func:`use_faults`
+override.  The env syntax is comma-separated entries::
+
+    REPRO_FAULTS="campaign.task:error:p=0.3:seed=7,cache.load:truncate:p=1"
+
+where each entry is ``site[:kind][:param=value ...]`` with kinds
+
+- ``error``    — raise :class:`FaultInjected` (default);
+- ``delay``    — sleep ``delay`` seconds (default 0.01) then proceed;
+- ``truncate`` — report the operation's artifact as torn (consumed by
+  the artifact cache, which truncates the file and must then heal);
+- ``kill``     — ``os._exit`` the worker process (a real
+  ``BrokenProcessPool`` for the parent to recover from);
+
+and per-entry parameters ``p`` (probability a key is faulty, default
+1.0), ``count`` (consecutive faulty attempts, default 1), ``seed``
+(draw seed, default 0) and ``delay`` (seconds, ``delay`` kind only).
+
+The fault-free fast path is one ``None`` check per site call: with no
+plan installed and no env var set, :func:`maybe_inject` returns
+immediately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+__all__ = [
+    "FAULT_SITES",
+    "FAULT_KINDS",
+    "FAULTS_ENV",
+    "FaultInjected",
+    "FaultSpec",
+    "FaultPlan",
+    "use_faults",
+    "active_plan",
+    "maybe_inject",
+    "should_corrupt",
+    "attempt_scope",
+    "current_attempt",
+]
+
+#: Environment variable holding the fault plan (see module docstring).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: The named injection sites the execution stack exposes.
+FAULT_SITES = ("campaign.task", "shard.profile", "cache.load", "backend.kernel")
+
+#: The fault kinds a spec can inject.
+FAULT_KINDS = ("error", "delay", "truncate", "kill")
+
+#: Exit code of a ``kill``-fault worker (distinct from real signals, so
+#: a post-mortem can tell injected deaths from genuine ones).
+KILL_EXIT_CODE = 73
+
+
+class FaultInjected(RuntimeError):
+    """The exception an ``error`` fault raises.
+
+    A plain ``RuntimeError`` subclass: the resilience layer retries it
+    like any task failure, and the artifact cache treats it as a miss —
+    no layer needs to special-case injected faults to stay correct.
+    """
+
+
+def _draw(site: str, seed: int, key: str) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for one operation key."""
+    digest = hashlib.sha256(f"{site}|{seed}|{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: where, what, how often, for how long."""
+
+    site: str
+    kind: str = "error"
+    p: float = 1.0
+    count: int = 1
+    seed: int = 0
+    delay: float = 0.01
+
+    def __post_init__(self):
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; sites: "
+                f"{', '.join(FAULT_SITES)}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; kinds: "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"fault probability must be in [0, 1], got {self.p}")
+        if self.count < 1:
+            raise ValueError(f"fault count must be >= 1, got {self.count}")
+        if self.delay < 0:
+            raise ValueError(f"fault delay must be >= 0, got {self.delay}")
+
+    def fires(self, key: str, attempt: int) -> bool:
+        """Does this rule fault ``key`` on (0-based) ``attempt``?
+
+        Pure: the answer depends only on the rule and its arguments.
+        Attempts at or beyond ``count`` never fault, which is what
+        makes ``retries >= count`` a healing guarantee.
+        """
+        if attempt >= self.count:
+            return False
+        return _draw(self.site, self.seed, key) < self.p
+
+    def to_entry(self) -> str:
+        """The env-spec entry this rule round-trips through."""
+        parts = [self.site, self.kind]
+        if self.p != 1.0:
+            parts.append(f"p={self.p:g}")
+        if self.count != 1:
+            parts.append(f"count={self.count}")
+        if self.seed != 0:
+            parts.append(f"seed={self.seed}")
+        if self.kind == "delay" and self.delay != 0.01:
+            parts.append(f"delay={self.delay:g}")
+        return ":".join(parts)
+
+    @classmethod
+    def parse(cls, entry: str) -> "FaultSpec":
+        """Parse one ``site[:kind][:param=value ...]`` entry."""
+        fields_ = [part.strip() for part in entry.split(":") if part.strip()]
+        if not fields_:
+            raise ValueError("empty fault entry")
+        site = fields_[0]
+        kind = "error"
+        params: dict[str, float | int] = {}
+        rest = fields_[1:]
+        if rest and "=" not in rest[0]:
+            kind = rest[0]
+            rest = rest[1:]
+        for part in rest:
+            if "=" not in part:
+                raise ValueError(
+                    f"bad fault parameter {part!r} in {entry!r}; expected "
+                    "name=value"
+                )
+            name, _, raw = part.partition("=")
+            name = name.strip()
+            try:
+                if name in ("p", "delay"):
+                    params[name] = float(raw)
+                elif name in ("count", "seed"):
+                    params[name] = int(raw)
+                else:
+                    raise ValueError
+            except ValueError:
+                raise ValueError(
+                    f"bad fault parameter {part!r} in {entry!r}; known "
+                    "parameters: p=FLOAT, count=INT, seed=INT, delay=FLOAT"
+                ) from None
+        return cls(site=site, kind=kind, **params)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A set of injection rules, indexable by site."""
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def for_site(self, site: str) -> tuple[FaultSpec, ...]:
+        return tuple(spec for spec in self.specs if spec.site == site)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def to_env(self) -> str:
+        """Serialize back to :data:`FAULTS_ENV` syntax (lossless)."""
+        return ",".join(spec.to_entry() for spec in self.specs)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a comma-separated env spec into a plan."""
+        entries = [part for part in text.split(",") if part.strip()]
+        return cls(tuple(FaultSpec.parse(entry) for entry in entries))
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """Copy with every rule reseeded (for property tests)."""
+        return FaultPlan(tuple(replace(spec, seed=seed) for spec in self.specs))
+
+
+# -- plan resolution ---------------------------------------------------------
+
+# In-process override stack (innermost wins); crosses into campaign
+# workers only via the environment variable, which child processes
+# inherit.
+_OVERRIDES: list[FaultPlan | None] = []
+
+# The env var is parsed once per distinct string value per process —
+# the fault-free path pays a getenv plus a dict hit.
+_ENV_CACHE: dict[str, FaultPlan] = {}
+
+
+def active_plan() -> FaultPlan | None:
+    """The fault plan in effect, or ``None`` (the common case)."""
+    if _OVERRIDES:
+        return _OVERRIDES[-1]
+    text = os.environ.get(FAULTS_ENV)
+    if not text:
+        return None
+    plan = _ENV_CACHE.get(text)
+    if plan is None:
+        plan = FaultPlan.parse(text)
+        _ENV_CACHE[text] = plan
+    return plan
+
+
+@contextmanager
+def use_faults(plan: FaultPlan | str | None) -> Iterator[FaultPlan | None]:
+    """Install a fault plan inside a ``with`` block (this process only).
+
+    Accepts a plan, an env-syntax string, or ``None`` to mask an outer
+    plan/env var (the fault-free control arm of an A/B test).
+    """
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    _OVERRIDES.append(plan)
+    try:
+        yield plan
+    finally:
+        _OVERRIDES.pop()
+
+
+# -- attempt context ---------------------------------------------------------
+
+# The resilience layer brackets every task attempt with attempt_scope,
+# so nested sites (a cache load inside a retried task) draw against the
+# attempt that is actually executing.
+_attempt: ContextVar[int] = ContextVar("repro_fault_attempt", default=0)
+
+
+def current_attempt() -> int:
+    """The 0-based attempt index of the executing task (0 outside one)."""
+    return _attempt.get()
+
+
+@contextmanager
+def attempt_scope(attempt: int) -> Iterator[None]:
+    """Make ``attempt`` ambient for the duration of one task execution."""
+    token = _attempt.set(attempt)
+    try:
+        yield
+    finally:
+        _attempt.reset(token)
+
+
+# -- injection entry points --------------------------------------------------
+
+
+def maybe_inject(site: str, key: str) -> None:
+    """Fire any matching ``error``/``delay``/``kill`` fault for ``key``.
+
+    Called at the top of an operation, *before* any side effects, so a
+    retried attempt redoes exactly the work a clean first attempt would
+    have — the invariant behind bit-identical fault-injected reports.
+    ``truncate`` rules are not handled here (see :func:`should_corrupt`).
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    attempt = current_attempt()
+    for spec in plan.for_site(site):
+        if spec.kind == "truncate" or not spec.fires(key, attempt):
+            continue
+        if spec.kind == "delay":
+            time.sleep(spec.delay)
+            continue
+        if spec.kind == "kill":
+            # A real abrupt worker death: no cleanup, no exception —
+            # the parent sees BrokenProcessPool and must recover.
+            os._exit(KILL_EXIT_CODE)
+        raise FaultInjected(
+            f"injected fault at {site} (key={key!r}, attempt={attempt})"
+        )
+
+
+def should_corrupt(site: str, key: str) -> bool:
+    """Does a ``truncate`` rule tear this operation's artifact?
+
+    Consumed by :class:`~repro.pipeline.artifact_cache.ArtifactCache`,
+    which physically truncates the on-disk entry and must then detect,
+    quarantine and recompute it — exercising the self-healing path end
+    to end rather than short-circuiting it with an exception.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    attempt = current_attempt()
+    return any(
+        spec.kind == "truncate" and spec.fires(key, attempt)
+        for spec in plan.for_site(site)
+    )

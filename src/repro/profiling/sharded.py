@@ -243,9 +243,13 @@ def _profile_shard(
 
 def _scan_shard_task(item, source) -> tuple[np.ndarray, np.ndarray, bool]:
     """Scan one shard: return (blocks, last times, recomputed)."""
+    from repro.pipeline.faults import maybe_inject
     from repro.pipeline.runtime import current_context
 
     start, stop, key = item
+    # Entry injection, before any cache access: a retried attempt redoes
+    # exactly what a clean attempt would (see repro.pipeline.faults).
+    maybe_inject("shard.profile", f"scan:{start}:{stop}")
     context = current_context()
     cache = context.cache if context is not None else None
     if cache is not None and key is not None:
@@ -260,9 +264,11 @@ def _scan_shard_task(item, source) -> tuple[np.ndarray, np.ndarray, bool]:
 
 def _profile_shard_task(item, source, capacity_blocks, n) -> ConflictProfile:
     """Profile one (known-missing) shard and store its artifact."""
+    from repro.pipeline.faults import maybe_inject
     from repro.pipeline.runtime import current_context
 
     start, stop, key, prefix_blocks = item
+    maybe_inject("shard.profile", f"profile:{start}:{stop}")
     profile = _profile_shard(source.read(start, stop), prefix_blocks, capacity_blocks, n)
     context = current_context()
     if context is not None and context.cache is not None and key is not None:
@@ -285,6 +291,9 @@ def _run_sharded(
     workers: int | None,
     context,
     key_base: dict | None,
+    retries: int = 0,
+    task_timeout: float | None = None,
+    on_error: str = "raise",
 ) -> ShardedProfileResult:
     from repro.pipeline.artifact_cache import stable_key
     from repro.pipeline.campaign import map_with_context
@@ -292,6 +301,11 @@ def _run_sharded(
 
     if capacity_blocks < 1:
         raise ValueError(f"capacity must be >= 1 block, got {capacity_blocks}")
+    # A profile missing a shard is not a partial result but a wrong one,
+    # so the skip policy (meaningful for independent campaign rows) is
+    # coerced to raise here; retries/timeouts apply unchanged.
+    if on_error == "skip":
+        on_error = "raise"
     t0 = time.perf_counter()
     plan = ShardPlan(len(source), shard_size)
     shards = list(plan)
@@ -341,6 +355,9 @@ def _run_sharded(
                 scan_items,
                 cache_dir=cache_dir,
                 workers=min(workers, len(scan_items)) or 1,
+                retries=retries,
+                task_timeout=task_timeout,
+                on_error=on_error,
             )
             recomputed_scans = sum(1 for *_, fresh in summaries if fresh)
             missing_set = set(missing)
@@ -377,6 +394,9 @@ def _run_sharded(
                 profile_items,
                 cache_dir=cache_dir,
                 workers=min(workers, len(profile_items)) or 1,
+                retries=retries,
+                task_timeout=task_timeout,
+                on_error=on_error,
             )
         for i, profile in zip(missing, computed):
             profiles[i] = profile
@@ -429,6 +449,9 @@ def run_sharded_profile(
     shard_size: int = DEFAULT_SHARD_SIZE,
     workers: int | None = 1,
     context=None,
+    retries: int = 0,
+    task_timeout: float | None = None,
+    on_error: str = "raise",
 ) -> ShardedProfileResult:
     """Profile a trace shard-by-shard; return the merged profile plus
     execution stats.
@@ -441,6 +464,14 @@ def run_sharded_profile(
     profiles and scan summaries are stored under keys derived from the
     trace digest + geometry + shard bounds, and a re-run resumes from
     whatever finished.  ``workers=None`` picks one per core.
+
+    ``retries``/``task_timeout``/``on_error`` match
+    :func:`repro.pipeline.campaign.run_campaign`, except that
+    ``on_error="skip"`` is coerced to ``"raise"`` — a profile missing a
+    shard would be wrong, not partial.  A shard task that fails is
+    retried with backoff; dead workers rebuild the pool and resubmit
+    only unfinished shards; already-cached shard artifacts are never
+    recomputed by a retry.
     """
     if context is None:
         from repro.pipeline.runtime import current_context
@@ -465,7 +496,16 @@ def run_sharded_profile(
             "n": n,
         }
     return _run_sharded(
-        source, geometry.num_blocks, n, shard_size, workers, context, key_base
+        source,
+        geometry.num_blocks,
+        n,
+        shard_size,
+        workers,
+        context,
+        key_base,
+        retries=retries,
+        task_timeout=task_timeout,
+        on_error=on_error,
     )
 
 

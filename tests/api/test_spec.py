@@ -77,6 +77,9 @@ def execution_specs(draw):
         shard_size=draw(
             st.one_of(st.none(), st.integers(min_value=1, max_value=1 << 22))
         ),
+        retries=draw(st.integers(min_value=0, max_value=5)),
+        task_timeout=draw(st.one_of(st.none(), st.just(30.0), st.just(0.5))),
+        on_error=draw(st.sampled_from(("raise", "skip", "retry"))),
     )
 
 
@@ -368,3 +371,37 @@ class TestExecutionShardSize:
             execution=ExecutionSpec(shard_size=512),
         )
         assert base.digest == sharded.digest
+
+
+class TestExecutionResilience:
+    def test_round_trip(self):
+        spec = ExecutionSpec(retries=3, task_timeout=30.0, on_error="skip")
+        assert ExecutionSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defaults_omitted_from_dict(self):
+        payload = ExecutionSpec().to_dict()
+        assert "retries" not in payload
+        assert "task_timeout" not in payload
+        assert "on_error" not in payload
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SpecError, match="retries"):
+            ExecutionSpec(retries=-1)
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(SpecError, match="task_timeout"):
+            ExecutionSpec(task_timeout=0)
+        with pytest.raises(SpecError, match="task_timeout"):
+            ExecutionSpec(task_timeout=True)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SpecError, match="on_error"):
+            ExecutionSpec(on_error="ignore")
+
+    def test_never_enters_spec_digest(self):
+        base = ExperimentSpec(trace=TraceSpec("mibench", "fft"))
+        resilient = ExperimentSpec(
+            trace=TraceSpec("mibench", "fft"),
+            execution=ExecutionSpec(retries=3, task_timeout=10.0, on_error="skip"),
+        )
+        assert base.digest == resilient.digest

@@ -77,3 +77,103 @@ class TestProfileArtifacts:
         loaded = cache.load_profile(key)
         assert loaded.digest == profile.digest
         assert cache.counters["profile"] == {"hits": 1, "misses": 1, "stores": 1}
+
+
+class TestSelfHealing:
+    """Checksum-verified loads, quarantine, and fault-injected corruption."""
+
+    def _store_arrays(self, cache, key):
+        cache.store_arrays("arrays", key, {"a": np.arange(8, dtype=np.int64)})
+        return cache.path_for("arrays", key, ".npz")
+
+    def test_checksum_sidecar_written_on_store(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = self._store_arrays(cache, stable_key("arrays", {"x": 1}))
+        sidecar = path.with_name(path.name + ".sha256")
+        assert sidecar.exists()
+        assert len(sidecar.read_text().strip()) == 64
+
+    def test_truncated_entry_quarantined_and_healed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = stable_key("arrays", {"x": 2})
+        path = self._store_arrays(cache, key)
+        with open(path, "r+b") as fh:  # torn write
+            fh.truncate(path.stat().st_size // 2)
+        assert cache.load_arrays("arrays", key) is None  # miss, not a crash
+        assert not path.exists()
+        assert any(cache.quarantine_dir.iterdir())
+        assert cache.counters["arrays"]["quarantined"] == 1
+        # recompute + store heals; the replay then hits cleanly
+        self._store_arrays(cache, key)
+        loaded = cache.load_arrays("arrays", key)
+        assert list(loaded["a"]) == list(range(8))
+
+    def test_bad_zipfile_with_valid_checksum_is_a_miss(self, tmp_path):
+        # Content that checksums fine but is not a zip exercises the
+        # BadZipFile branch rather than the checksum gate.
+        cache = ArtifactCache(tmp_path)
+        key = stable_key("arrays", {"x": 3})
+        path = self._store_arrays(cache, key)
+        path.write_bytes(b"definitely not a zip archive")
+        import hashlib
+
+        sidecar = path.with_name(path.name + ".sha256")
+        sidecar.write_text(hashlib.sha256(path.read_bytes()).hexdigest())
+        assert cache.load_arrays("arrays", key) is None
+        assert not path.exists()  # quarantined by the parse failure
+
+    def test_legacy_entry_without_sidecar_still_loads(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = stable_key("arrays", {"x": 4})
+        path = self._store_arrays(cache, key)
+        path.with_name(path.name + ".sha256").unlink()
+        assert cache.load_arrays("arrays", key) is not None
+
+    def test_corrupt_profile_quarantined(self, tmp_path):
+        from repro.profiling.conflict_profile import ConflictProfile
+
+        cache = ArtifactCache(tmp_path)
+        key = stable_key("profile", {"t": "x"})
+        counts = np.zeros(8, dtype=np.int64)
+        cache.store_profile(key, ConflictProfile(3, counts, accesses=4))
+        path = cache.path_for("profile", key, ".npz")
+        with open(path, "r+b") as fh:
+            fh.truncate(4)
+        assert cache.load_profile(key) is None
+        assert cache.counters["profile"]["quarantined"] == 1
+
+    def test_corrupt_json_quarantined(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = stable_key("stats", {"x": 5})
+        cache.store_json("stats", key, {"v": 1})
+        path = cache.path_for("stats", key, ".json")
+        with open(path, "r+b") as fh:
+            fh.truncate(3)
+        assert cache.load_json("stats", key) is None
+        assert cache.counters["stats"]["quarantined"] == 1
+
+    def test_injected_load_error_is_miss_without_quarantine(self, tmp_path):
+        from repro.pipeline.faults import attempt_scope, use_faults
+
+        cache = ArtifactCache(tmp_path)
+        key = stable_key("arrays", {"x": 6})
+        path = self._store_arrays(cache, key)
+        with use_faults("cache.load:error:p=1:count=1"):
+            assert cache.load_arrays("arrays", key) is None  # injected miss
+            assert path.exists()  # healthy entry untouched
+            with attempt_scope(1):  # the retry: count=1 only hits attempt 0
+                assert cache.load_arrays("arrays", key) is not None
+        assert "quarantined" not in cache.counters["arrays"]
+
+    def test_injected_truncation_heals_end_to_end(self, tmp_path):
+        from repro.pipeline.faults import attempt_scope, use_faults
+
+        cache = ArtifactCache(tmp_path)
+        key = stable_key("arrays", {"x": 7})
+        self._store_arrays(cache, key)
+        with use_faults("cache.load:truncate:p=1:count=1"):
+            assert cache.load_arrays("arrays", key) is None  # corrupted on read
+            assert cache.counters["arrays"]["quarantined"] == 1
+            with attempt_scope(1):
+                self._store_arrays(cache, key)  # recompute
+                assert cache.load_arrays("arrays", key) is not None

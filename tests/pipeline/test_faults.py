@@ -1,0 +1,162 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import os
+import time
+
+import pytest
+
+from repro.pipeline.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FAULTS_ENV,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    _draw,
+    active_plan,
+    attempt_scope,
+    current_attempt,
+    maybe_inject,
+    should_corrupt,
+    use_faults,
+)
+
+
+class TestDraw:
+    def test_deterministic(self):
+        assert _draw("campaign.task", 7, "k") == _draw("campaign.task", 7, "k")
+
+    def test_in_unit_interval_and_sensitive_to_inputs(self):
+        values = {
+            _draw("campaign.task", 7, "k"),
+            _draw("campaign.task", 8, "k"),
+            _draw("campaign.task", 7, "k2"),
+            _draw("cache.load", 7, "k"),
+        }
+        assert len(values) == 4
+        assert all(0.0 <= v < 1.0 for v in values)
+
+
+class TestFaultSpec:
+    def test_parse_full(self):
+        spec = FaultSpec.parse("cache.load:error:p=0.5:count=2:seed=9:delay=0.1")
+        assert spec.site == "cache.load"
+        assert spec.kind == "error"
+        assert spec.p == 0.5
+        assert spec.count == 2
+        assert spec.seed == 9
+        assert spec.delay == 0.1
+
+    def test_parse_defaults(self):
+        spec = FaultSpec.parse("campaign.task")
+        assert spec.kind == "error"
+        assert spec.p == 1.0
+        assert spec.count == 1
+        assert spec.seed == 0
+
+    def test_parse_rejects_unknown_site_and_kind(self):
+        with pytest.raises(ValueError, match="site"):
+            FaultSpec.parse("bogus.site")
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec.parse("cache.load:explode")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="cache.load", kind="error", p=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(site="cache.load", kind="error", count=-1)
+
+    def test_fires_is_deterministic_and_bounded(self):
+        spec = FaultSpec(site="campaign.task", kind="error", p=1.0, count=2, seed=3)
+        assert spec.fires("k", 0)
+        assert spec.fires("k", 1)
+        # count bounds the number of faulting attempts: retries >= count heals.
+        assert not spec.fires("k", 2)
+        assert not spec.fires("k", 99)
+
+    def test_fires_respects_probability(self):
+        spec = FaultSpec(site="campaign.task", kind="error", p=0.0, count=5)
+        assert not any(spec.fires("k", a) for a in range(5))
+
+
+class TestFaultPlan:
+    def test_env_round_trip(self):
+        text = "campaign.task:error:p=0.3:seed=5,cache.load:truncate:count=2"
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(plan.to_env()) == plan
+        assert len(plan.specs) == 2
+
+    def test_for_site_filters(self):
+        plan = FaultPlan.parse("campaign.task,cache.load:truncate")
+        assert [s.site for s in plan.for_site("cache.load")] == ["cache.load"]
+        assert plan.for_site("backend.kernel") == ()
+
+    def test_bool(self):
+        assert not FaultPlan.parse("")
+        assert FaultPlan.parse("campaign.task")
+
+    def test_with_seed_reseeds_every_spec(self):
+        plan = FaultPlan.parse("campaign.task:error:seed=1,cache.load:error:seed=2")
+        assert {s.seed for s in plan.with_seed(9).specs} == {9}
+
+
+class TestActivation:
+    def test_env_activates_plan(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "campaign.task:error:p=1")
+        plan = active_plan()
+        assert plan and plan.specs[0].site == "campaign.task"
+
+    def test_use_faults_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "campaign.task:error:p=1")
+        with use_faults("cache.load:error"):
+            assert [s.site for s in active_plan().specs] == ["cache.load"]
+        assert active_plan().specs[0].site == "campaign.task"
+
+    def test_use_faults_none_masks_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "campaign.task:error:p=1")
+        with use_faults(None):
+            assert not active_plan()
+            maybe_inject("campaign.task", "k")  # must not raise
+
+    def test_invalid_env_is_an_error(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "not-a-site")
+        with pytest.raises(ValueError):
+            active_plan()
+
+
+class TestInjection:
+    def test_error_kind_raises(self):
+        with use_faults("campaign.task:error:p=1"):
+            with pytest.raises(FaultInjected):
+                maybe_inject("campaign.task", "k")
+
+    def test_other_sites_unaffected(self):
+        with use_faults("campaign.task:error:p=1"):
+            maybe_inject("cache.load", "k")  # no spec for this site
+
+    def test_delay_kind_sleeps(self):
+        with use_faults("campaign.task:delay:p=1:delay=0.05"):
+            start = time.monotonic()
+            maybe_inject("campaign.task", "k")
+            assert time.monotonic() - start >= 0.04
+
+    def test_truncate_kind_only_fires_via_should_corrupt(self):
+        with use_faults("cache.load:truncate:p=1"):
+            maybe_inject("cache.load", "k")  # truncate never raises here
+            assert should_corrupt("cache.load", "k")
+        assert not should_corrupt("cache.load", "k")
+
+    def test_attempt_scope_controls_count(self):
+        with use_faults("campaign.task:error:p=1:count=1"):
+            assert current_attempt() == 0
+            with pytest.raises(FaultInjected):
+                maybe_inject("campaign.task", "k")
+            with attempt_scope(1):
+                assert current_attempt() == 1
+                maybe_inject("campaign.task", "k")  # attempt >= count: healed
+
+    def test_constants_exported(self):
+        assert "campaign.task" in FAULT_SITES
+        assert set(FAULT_KINDS) == {"error", "delay", "truncate", "kill"}
+        assert FAULTS_ENV == "REPRO_FAULTS"
+        assert os.environ.get(FAULTS_ENV) is None or True  # env is worker-visible
