@@ -10,7 +10,13 @@ Two entry points:
   bit-identical (same function, history, steps, evaluations), prints
   the timings, writes ``BENCH_search.json`` and exits non-zero if the
   batched kernel is not >= the required speedup on the gated
-  configuration (the 16-in family at n = 16);
+  configuration (the 16-in family at n = 16).  A second, always-on
+  section certifies the global optimum of the 1 KB bit-selection
+  space by branch-and-bound (gated: certified, gap 0, and under 10%
+  of the unpruned assignment tree expanded), reports every zoo
+  strategy's measured optimality gap against it, and races the
+  portfolio (gated: matches the zoo best at <= 1.5x the
+  steepest-descent evaluation count);
 * ``pytest benchmarks/bench_search_speed.py`` — pytest-benchmark
   variant per family and cache size on a real workload for trend
   tracking ("0.5 to 10 seconds on a 2 GHz Pentium 4" is the paper's
@@ -40,6 +46,17 @@ from repro.workloads.registry import get_workload
 #: paper's 16-bit hashed window at a 4 KB cache.
 GATED_FAMILY = "16-in"
 GATED_CACHE_BYTES = 4096
+
+#: The certified-optimum configuration: bit-selection at the paper's
+#: 1 KB geometry, where branch-and-bound closes the gap outright and
+#: the result can be cross-checked against the independent exhaustive
+#: enumeration of ``repro.search.exhaustive``.
+CERTIFIED_FAMILY = "1-in"
+CERTIFIED_CACHE_BYTES = 1024
+CERTIFIED_ACCESSES = 300_000
+
+#: Strategies raced against the certified optimum (the full zoo).
+ZOO_STRATEGIES = ("steepest", "first-improvement", "beam:4", "anneal")
 
 
 def build_trace(accesses: int, seed: int = 42) -> np.ndarray:
@@ -112,6 +129,100 @@ def run(accesses: int, repeats: int, families, cache_bytes: int) -> dict:
     }
 
 
+def run_optimality(
+    accesses: int, max_node_fraction: float, portfolio_eval_factor: float
+) -> dict:
+    """Certified optimum vs the strategy zoo at the 1 KB geometry.
+
+    Branch-and-bound certifies the global optimum of the
+    ``CERTIFIED_FAMILY`` column space; every zoo strategy then reports
+    its *measured* optimality gap against that number instead of
+    against an unprovable heuristic reference.  The portfolio races the
+    first two zoo members in lockstep and is gated on matching the
+    whole zoo at <= ``portfolio_eval_factor`` x the steepest-descent
+    evaluation count.
+    """
+    from repro.search.branch_bound import branch_bound_search, exhaustive_node_count
+    from repro.search.exhaustive import optimal_bit_select
+    from repro.search.strategies import strategy_for_name
+
+    blocks = build_trace(accesses)
+    geometry = CacheGeometry.direct_mapped(CERTIFIED_CACHE_BYTES)
+    profile = profile_blocks(blocks, geometry.num_blocks, PAPER_HASHED_BITS)
+    family = family_for_name(
+        CERTIFIED_FAMILY, PAPER_HASHED_BITS, geometry.index_bits
+    )
+
+    t0 = time.perf_counter()
+    exact = branch_bound_search(profile, family)
+    exact_seconds = time.perf_counter() - t0
+    exhaustive = exhaustive_node_count(family)
+    fraction = exact.nodes_expanded / exhaustive
+    # Independent oracle: exhaustive bit-select enumeration must agree.
+    cross_check = optimal_bit_select(
+        PAPER_HASHED_BITS, geometry.index_bits, profile=profile, mode="estimate"
+    ).misses
+
+    strategies = []
+    steepest_evaluations = None
+    for spec in ZOO_STRATEGIES:
+        strategy = strategy_for_name(spec)
+        result = strategy.search(profile, family, rng=np.random.default_rng(0))
+        if spec == "steepest":
+            steepest_evaluations = result.evaluations
+        strategies.append({
+            "strategy": spec,
+            "estimated_misses": result.estimated_misses,
+            "optimality_gap": result.estimated_misses - exact.estimated_misses,
+            "evaluations": result.evaluations,
+        })
+
+    portfolio = strategy_for_name("portfolio").search(
+        profile, family, rng=np.random.default_rng(0)
+    )
+    zoo_best = min(row["estimated_misses"] for row in strategies)
+    evaluation_budget = portfolio_eval_factor * steepest_evaluations
+    portfolio_row = {
+        "strategy": portfolio.strategy_name,
+        "estimated_misses": portfolio.estimated_misses,
+        "optimality_gap": portfolio.estimated_misses - exact.estimated_misses,
+        "evaluations": portfolio.evaluations,
+        "evaluation_budget": evaluation_budget,
+    }
+
+    certified_ok = (
+        exact.certified
+        and exact.optimality_gap == 0
+        and exact.estimated_misses == cross_check
+        and fraction < max_node_fraction
+    )
+    portfolio_ok = (
+        portfolio.estimated_misses <= zoo_best
+        and portfolio.evaluations <= evaluation_budget
+    )
+    return {
+        "accesses": len(blocks),
+        "cache_bytes": CERTIFIED_CACHE_BYTES,
+        "family": CERTIFIED_FAMILY,
+        "certified_misses": exact.estimated_misses,
+        "certified": exact.certified,
+        "optimality_gap": exact.optimality_gap,
+        "nodes_expanded": exact.nodes_expanded,
+        "nodes_pruned": exact.nodes_pruned,
+        "exhaustive_nodes": exhaustive,
+        "expanded_fraction": fraction,
+        "max_node_fraction": max_node_fraction,
+        "cross_check_misses": cross_check,
+        "seconds": round(exact_seconds, 3),
+        "strategies": strategies,
+        "portfolio": portfolio_row,
+        "zoo_best_misses": zoo_best,
+        "portfolio_eval_factor": portfolio_eval_factor,
+        "certified_ok": certified_ok,
+        "portfolio_ok": portfolio_ok,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -136,6 +247,19 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup", type=float, default=4.0,
         help="required batched-over-scalar speedup on the 16-in family",
     )
+    parser.add_argument(
+        "--certified-accesses", type=int, default=CERTIFIED_ACCESSES,
+        help="trace length for the certified-optimum section",
+    )
+    parser.add_argument(
+        "--max-node-fraction", type=float, default=0.10,
+        help="branch-and-bound must expand under this fraction of the "
+             "unpruned assignment tree",
+    )
+    parser.add_argument(
+        "--portfolio-eval-factor", type=float, default=1.5,
+        help="portfolio evaluation budget as a multiple of steepest descent",
+    )
     args = parser.parse_args(argv)
 
     families = list(args.families)
@@ -145,7 +269,16 @@ def main(argv: list[str] | None = None) -> int:
     gated = next(r for r in results["rows"] if r["family"] == GATED_FAMILY)
     results["min_speedup_required"] = args.min_speedup
     results["gated_speedup"] = gated["speedup"]
-    results["passed"] = gated["speedup"] >= args.min_speedup
+    optimality = run_optimality(
+        args.certified_accesses, args.max_node_fraction,
+        args.portfolio_eval_factor,
+    )
+    results["optimality"] = optimality
+    results["passed"] = (
+        gated["speedup"] >= args.min_speedup
+        and optimality["certified_ok"]
+        and optimality["portfolio_ok"]
+    )
 
     print(f"Hill-climb search, {results['accesses']} accesses "
           f"(support {results['support']}) @ "
@@ -155,17 +288,55 @@ def main(argv: list[str] | None = None) -> int:
               f"batched {row['batched_seconds']:8.3f}s  "
               f"({row['speedup']:.1f}x, {row['steps']} steps, "
               f"{row['evaluations']} evals)")
+    print(f"Certified optimum, {optimality['accesses']} accesses @ "
+          f"{optimality['cache_bytes']}B, family {optimality['family']}:")
+    print(f"  branch-bound: {optimality['certified_misses']} misses "
+          f"(certified={optimality['certified']}, "
+          f"cross-check {optimality['cross_check_misses']}), "
+          f"{optimality['nodes_expanded']} of {optimality['exhaustive_nodes']} "
+          f"nodes ({optimality['expanded_fraction']:.2e}), "
+          f"{optimality['seconds']:.1f}s")
+    for row in optimality["strategies"]:
+        print(f"  {row['strategy']:>17}: {row['estimated_misses']} misses "
+              f"(gap {row['optimality_gap']}, {row['evaluations']} evals)")
+    pf = optimality["portfolio"]
+    print(f"  portfolio: {pf['estimated_misses']} misses "
+          f"(gap {pf['optimality_gap']}), {pf['evaluations']} evals "
+          f"(budget {pf['evaluation_budget']:.0f})")
+
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {args.output}")
-    if not results["passed"]:
+    failed = False
+    if gated["speedup"] < args.min_speedup:
         print(
             f"FAIL: {GATED_FAMILY} search speedup {gated['speedup']:.1f}x "
             f"< {args.min_speedup:.0f}x",
             file=sys.stderr,
         )
+        failed = True
+    if not optimality["certified_ok"]:
+        print(
+            f"FAIL: branch-and-bound did not certify the "
+            f"{CERTIFIED_FAMILY} optimum within "
+            f"{args.max_node_fraction:.0%} of the unpruned tree",
+            file=sys.stderr,
+        )
+        failed = True
+    if not optimality["portfolio_ok"]:
+        print(
+            f"FAIL: portfolio missed the zoo best "
+            f"({pf['estimated_misses']} vs {optimality['zoo_best_misses']}) "
+            f"or overran its evaluation budget "
+            f"({pf['evaluations']} vs {pf['evaluation_budget']:.0f})",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
         return 1
     print(f"OK: {GATED_FAMILY} search speedup {gated['speedup']:.1f}x "
-          f">= {args.min_speedup:.0f}x")
+          f">= {args.min_speedup:.0f}x; certified optimum matched at "
+          f"{optimality['expanded_fraction']:.2e} of the tree; portfolio "
+          f"within budget")
     return 0
 
 

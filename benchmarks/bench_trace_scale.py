@@ -15,7 +15,10 @@ Two entry points:
   ``BENCH_trace_scale.json`` and exits non-zero if the multi-worker
   sharded pass is not >= the required speedup over the same sharded
   pass run serially (the gate auto-skips — recorded in the JSON — on
-  single-core hosts, where "parallel" cannot mean anything);
+  single-core hosts, where "parallel" cannot mean anything) or if the
+  *serial* sharded pass exceeds the always-on overhead ceiling over
+  the in-memory single pass (sharding must stay cheap even where the
+  parallel gate cannot run);
 * ``pytest benchmarks/bench_trace_scale.py`` — pytest-benchmark
   variant on a reduced trace for trend tracking.
 """
@@ -221,6 +224,12 @@ def main(argv: list[str] | None = None) -> int:
              "(auto-skipped on single-core hosts)",
     )
     parser.add_argument(
+        "--max-serial-overhead", type=float, default=1.35,
+        help="ceiling on sharded-serial time over the in-memory single "
+             "pass; always enforced (shard orchestration must stay "
+             "cheap even where the parallel gate cannot run)",
+    )
+    parser.add_argument(
         "--rss-budget-mb", type=float, default=None,
         help="override the computed peak-RSS budget",
     )
@@ -239,7 +248,18 @@ def main(argv: list[str] | None = None) -> int:
     results["min_speedup_required"] = args.min_speedup
     results["speedup_gate_skipped"] = not multi_core
     speedup_ok = not multi_core or results["speedup"] >= args.min_speedup
-    results["passed"] = bool(results["rss_ok"] and speedup_ok)
+    # Serial-overhead floor: unlike the parallel gate this one never
+    # skips — sharding must not tax a host that cannot parallelize.
+    serial_overhead = (
+        results["sharded_serial_seconds"] / results["single_pass_seconds"]
+        if results["single_pass_seconds"]
+        else 0.0
+    )
+    results["serial_overhead"] = round(serial_overhead, 2)
+    results["max_serial_overhead"] = args.max_serial_overhead
+    serial_ok = serial_overhead <= args.max_serial_overhead
+    results["serial_overhead_ok"] = serial_ok
+    results["passed"] = bool(results["rss_ok"] and speedup_ok and serial_ok)
 
     print(
         f"trace scale ({results['accesses']} accesses, {results['file_mb']}MB "
@@ -249,7 +269,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  generate       {results['generate_seconds']:8.2f}s")
     print(f"  sharded        {results['sharded_seconds']:8.2f}s  "
           f"({results['throughput_maccess_per_s']} Maccess/s)")
-    print(f"  sharded (w=1)  {results['sharded_serial_seconds']:8.2f}s")
+    print(f"  sharded (w=1)  {results['sharded_serial_seconds']:8.2f}s  "
+          f"({results['serial_overhead']:.2f}x single pass, "
+          f"ceiling {args.max_serial_overhead:.2f}x)")
     print(f"  single pass    {results['single_pass_seconds']:8.2f}s")
     print(f"  warm replay    {results['warm_replay_seconds']:8.2f}s  "
           f"({results['warm_recomputed_shards']} shard(s) recomputed)")
@@ -261,6 +283,13 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: peak RSS {results['peak_rss_mb']}MB exceeded the "
             f"{results['rss_budget_mb']}MB budget",
+            file=sys.stderr,
+        )
+        return 1
+    if not serial_ok:
+        print(
+            f"FAIL: serial sharded pass took {serial_overhead:.2f}x the "
+            f"single pass (ceiling {args.max_serial_overhead:.2f}x)",
             file=sys.stderr,
         )
         return 1

@@ -558,7 +558,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument(
         "--strategy", default="steepest",
         help="search strategy: steepest (paper), first-improvement, "
-             "beam[:K], anneal[:ITERS[:SEED]]",
+             "beam[:K], anneal[:ITERS[:SEED]], branch-bound[:NODES] "
+             "(certified optimum), portfolio[:K] (lockstep race)",
     )
     p_opt.add_argument("--restarts", type=int, default=0)
     p_opt.add_argument(
@@ -642,7 +643,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument(
         "--strategy", default="steepest",
         help="search strategy: steepest (paper), first-improvement, "
-             "beam[:K], anneal[:ITERS[:SEED]]",
+             "beam[:K], anneal[:ITERS[:SEED]], branch-bound[:NODES] "
+             "(certified optimum), portfolio[:K] (lockstep race)",
     )
     p_search.add_argument(
         "--restarts", type=int, default=0,

@@ -84,7 +84,7 @@ def _function_from_json(payload: Mapping[str, Any]):
 
 
 def _search_to_json(search) -> dict[str, Any]:
-    return {
+    payload = {
         "function": _function_to_json(search.function),
         "estimated_misses": search.estimated_misses,
         "start_misses": search.start_misses,
@@ -95,11 +95,21 @@ def _search_to_json(search) -> dict[str, Any]:
         "family": search.family_name,
         "strategy": search.strategy_name,
     }
+    # Exact-search provenance rides along only when a strategy produced
+    # it, so heuristic reports (and their goldens) stay byte-identical.
+    if search.certified or search.optimality_gap is not None:
+        payload["certified"] = search.certified
+        payload["optimality_gap"] = search.optimality_gap
+    if search.nodes_expanded or search.nodes_pruned:
+        payload["nodes_expanded"] = search.nodes_expanded
+        payload["nodes_pruned"] = search.nodes_pruned
+    return payload
 
 
 def _search_from_json(payload: Mapping[str, Any]):
     from repro.search.result import SearchResult
 
+    gap = payload.get("optimality_gap")
     return SearchResult(
         function=_function_from_json(payload["function"]),
         estimated_misses=int(payload["estimated_misses"]),
@@ -110,6 +120,10 @@ def _search_from_json(payload: Mapping[str, Any]):
         history=[int(h) for h in payload["history"]],
         family_name=payload["family"],
         strategy_name=payload["strategy"],
+        certified=bool(payload.get("certified", False)),
+        optimality_gap=None if gap is None else int(gap),
+        nodes_expanded=int(payload.get("nodes_expanded", 0)),
+        nodes_pruned=int(payload.get("nodes_pruned", 0)),
     )
 
 

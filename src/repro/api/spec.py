@@ -56,7 +56,10 @@ __all__ = [
 #: spec schema generations can never collide.
 _SPEC_DIGEST_VERSION = "experiment-spec-v1"
 
-_STRATEGY_CHOICES = "steepest, first-improvement, beam[:K], anneal[:ITERS[:SEED]]"
+_STRATEGY_CHOICES = (
+    "steepest, first-improvement, beam[:K], anneal[:ITERS[:SEED]], "
+    "branch-bound[:NODES], portfolio[:K]"
+)
 
 
 def _require_int(value: Any, field_name: str, *, minimum: int | None = None) -> int:

@@ -197,7 +197,12 @@ def restarts_ablation(
 
 @dataclass(frozen=True)
 class StrategyOutcome:
-    """One strategy's search quality and cost on a fixed profile."""
+    """One strategy's search quality and cost on a fixed profile.
+
+    ``certified`` / ``optimality_gap`` carry the exact-search provenance
+    of :mod:`repro.search.branch_bound` (``None`` gap for heuristics,
+    which prove nothing about their distance to the optimum).
+    """
 
     strategy: str
     estimated_misses: int
@@ -205,13 +210,18 @@ class StrategyOutcome:
     steps: int
     evaluations: int
     seconds: float
+    certified: bool = False
+    optimality_gap: int | None = None
 
 
 def strategy_comparison(
     trace: Trace,
     geometry: CacheGeometry,
     family: str = "2-in",
-    strategies: tuple = ("steepest", "first-improvement", "beam:4", "anneal"),
+    strategies: tuple = (
+        "steepest", "first-improvement", "beam:4", "anneal",
+        "portfolio", "branch-bound",
+    ),
     n: int = PAPER_HASHED_BITS,
 ) -> list[StrategyOutcome]:
     """Run every strategy on one profile; report estimate and exact misses.
@@ -219,7 +229,10 @@ def strategy_comparison(
     The paper evaluates steepest descent only; this driver measures
     what the strategy zoo changes — both in search quality (estimated
     and exactly simulated misses of the constructed function) and in
-    search cost (steps, estimator evaluations, wall clock).
+    search cost (steps, estimator evaluations, wall clock).  The
+    default roster includes the portfolio race and branch-and-bound, so
+    the table shows heuristic costs against a certified optimum (or its
+    proven gap) where the exact search closes.
     """
     m = geometry.index_bits
     fam = family_for_name(family, n, m)
@@ -238,6 +251,8 @@ def strategy_comparison(
                 steps=result.steps,
                 evaluations=result.evaluations,
                 seconds=result.seconds,
+                certified=result.certified,
+                optimality_gap=result.optimality_gap,
             )
         )
     return outcomes

@@ -367,6 +367,14 @@ class PipelineContext:
                 history=[int(h) for h in search["history"]],
                 family_name=search["family_name"],
                 strategy_name=search.get("strategy_name", "steepest"),
+                certified=bool(search.get("certified", False)),
+                optimality_gap=(
+                    None
+                    if search.get("optimality_gap") is None
+                    else int(search["optimality_gap"])
+                ),
+                nodes_expanded=int(search.get("nodes_expanded", 0)),
+                nodes_pruned=int(search.get("nodes_pruned", 0)),
             ),
             profile=profile,
             reverted=bool(payload["reverted"]),
@@ -413,6 +421,22 @@ class PipelineContext:
                     "history": list(search.history),
                     "family_name": search.family_name,
                     "strategy_name": search.strategy_name,
+                    # Exact-search provenance: stored only when present
+                    # so pre-existing heuristic records stay readable
+                    # and byte-stable.
+                    **(
+                        {
+                            "certified": search.certified,
+                            "optimality_gap": search.optimality_gap,
+                            "nodes_expanded": search.nodes_expanded,
+                            "nodes_pruned": search.nodes_pruned,
+                        }
+                        if search.certified
+                        or search.optimality_gap is not None
+                        or search.nodes_expanded
+                        or search.nodes_pruned
+                        else {}
+                    ),
                 },
                 "reverted": result.reverted,
             },

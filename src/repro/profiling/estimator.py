@@ -306,6 +306,97 @@ class MissEstimator:
             out[mine] = total - self._odd_weights(group, sub_vectors, sub_weights)
         return out
 
+    def annihilated_mask(self, columns) -> np.ndarray:
+        """Boolean mask over the support: vectors with even parity under
+        *every* given column mask.
+
+        The support-side membership test of Eq. 4 exposed for partial
+        column assignments — exact searches
+        (:mod:`repro.search.branch_bound`) intersect these residues to
+        bound every completion of a prefix.  Rows come from the memoized
+        per-mask parity cache, so repeated prefixes of the same columns
+        cost one dictionary hit per mask.
+        """
+        alive = np.ones(len(self._vectors), dtype=bool)
+        for col in columns:
+            np.logical_and(alive, self._parity_row(int(col)) == 0, out=alive)
+        return alive
+
+    def weight_within(self, alive: np.ndarray) -> int:
+        """Total profiled conflict weight of one support subset."""
+        return int(self._weights[alive].sum())
+
+    def even_weights_within(
+        self, candidates: np.ndarray, alive: np.ndarray
+    ) -> np.ndarray:
+        """Surviving (even-parity) weight within ``alive`` per candidate.
+
+        ``out[i]`` is the weight of support vectors in ``alive`` with
+        even parity under ``candidates[i]`` — the batched one-more-column
+        evaluation behind branch-and-bound child bounds, routed through
+        the same chunked/bit-packed kernel as the neighbourhood paths.
+        Counts one evaluation per candidate.
+        """
+        candidates = np.asarray(candidates, dtype=self._vectors.dtype)
+        self.evaluations += len(candidates)
+        out = np.zeros(len(candidates), dtype=np.int64)
+        if len(candidates) == 0:
+            return out
+        vectors = self._vectors[alive]
+        if len(vectors) == 0:
+            return out
+        weights = self._weights[alive]
+        total = int(weights.sum())
+        out[:] = total - self._odd_weights(candidates, vectors, weights)
+        return out
+
+    def complete_group_minima(
+        self,
+        candidates: np.ndarray,
+        alive: np.ndarray,
+        shift: int,
+        group_size: int,
+    ) -> np.ndarray:
+        """Per candidate: sum of min weights over *complete* high-bit groups.
+
+        Restricts ``alive`` to vectors with even parity under the
+        candidate mask (mask ``0`` keeps the residue unrestricted),
+        groups the survivors by their bits above ``shift``, and sums the
+        minimum weight of every group holding exactly ``group_size``
+        members.  This is the permutation-family suffix bound of
+        :mod:`repro.search.branch_bound`: when each group member is one
+        distinct completion of the free index bits, a complete group is
+        hit by *every* remaining assignment, so its cheapest member is
+        an admissible contribution.  Counts one evaluation per
+        candidate.
+        """
+        candidates = np.asarray(candidates, dtype=self._vectors.dtype)
+        self.evaluations += len(candidates)
+        out = np.zeros(len(candidates), dtype=np.int64)
+        if len(candidates) == 0 or not alive.any():
+            return out
+        shift = np.uint64(shift)
+        groups_all = (self._vectors >> shift).astype(np.int64)
+        n_groups = int(groups_all.max()) + 1
+        # One min-per-group pass over the *given* residue: a restricted
+        # residue is a subset, so its group minima only rise — using
+        # the unrestricted minima for every candidate keeps the bound
+        # admissible while the per-candidate work drops to a bincount.
+        base_groups = groups_all[alive]
+        minima = np.full(n_groups, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(minima, base_groups, self._weights[alive])
+        for i, mask in enumerate(candidates):
+            if int(mask):
+                child = alive & (self._parity_row(int(mask)) == 0)
+                groups = groups_all[child]
+            else:
+                groups = base_groups
+            if len(groups) == 0:
+                continue
+            counts = np.bincount(groups, minlength=n_groups)
+            out[i] = int(minima[counts == group_size].sum())
+        return out
+
     def _odd_weights(
         self, candidates: np.ndarray, vectors: np.ndarray, weights: np.ndarray
     ) -> np.ndarray:

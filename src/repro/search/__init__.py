@@ -1,5 +1,11 @@
 """Design-space search: families, hill climbing, exhaustive baselines."""
 
+from repro.search.branch_bound import (
+    BranchBound,
+    admissible_lower_bound,
+    branch_bound_search,
+    exhaustive_node_count,
+)
 from repro.search.exhaustive import (
     ExhaustiveResult,
     enumerate_bit_select_masks,
@@ -22,6 +28,7 @@ from repro.search.hill_climb import (
 )
 from repro.search.objective import EstimatedMissObjective, ExactSimulationObjective
 from repro.search.optimal_xor import OptimalXorResult, optimal_xor_function
+from repro.search.portfolio import DEFAULT_ZOO, Portfolio
 from repro.search.strategies import (
     Annealing,
     BeamSearch,
@@ -47,6 +54,12 @@ __all__ = [
     "FirstImprovement",
     "BeamSearch",
     "Annealing",
+    "BranchBound",
+    "Portfolio",
+    "DEFAULT_ZOO",
+    "branch_bound_search",
+    "admissible_lower_bound",
+    "exhaustive_node_count",
     "strategy_for_name",
     "ExhaustiveResult",
     "optimal_bit_select",

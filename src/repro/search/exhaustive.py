@@ -20,6 +20,7 @@ from itertools import combinations
 import numpy as np
 
 from repro.cache.engine.batched import CHUNK_ELEMENTS, misses_for_index_streams
+from repro.gf2.bitpack import pack_bit_planes, packed_any_rows, weighted_popcount
 from repro.gf2.hashfn import XorHashFunction
 from repro.profiling.conflict_profile import ConflictProfile
 
@@ -153,31 +154,58 @@ def _best_exact(n: int, masks: np.ndarray, blocks: np.ndarray) -> tuple[int, int
 
 def _best_estimated(masks: np.ndarray, profile: ConflictProfile) -> tuple[int, int]:
     vectors, weights = profile.support()
-    return _best_estimated_support(masks, vectors, weights)
+    return _best_estimated_support(masks, vectors, weights, n=profile.n)
+
+
+#: Below this (masks x vectors) workload the packed path's plane build
+#: outweighs its traffic win; mirrors the estimator's packed threshold.
+_PACKED_MIN_ELEMENTS = 1 << 12
 
 
 def _best_estimated_support(
-    masks: np.ndarray, vectors: np.ndarray, weights: np.ndarray
+    masks: np.ndarray,
+    vectors: np.ndarray,
+    weights: np.ndarray,
+    n: int | None = None,
 ) -> tuple[int, int]:
     """Estimate-mode scoring against raw support arrays.
 
     Split out of :func:`_best_estimated` so wide windows (n > 32,
     where a dense profile array is impractical) stay testable; all
-    operands are ``uint64`` so no selection bit truncates.
+    operands are ``uint64`` so no selection bit truncates.  Wide
+    windows run bit-packed: a vector survives selection mask ``M`` iff
+    ``v & M == 0``, which is an OR-of-planes accumulation
+    (:func:`repro.gf2.bitpack.packed_any_rows` — *not* the XOR parity
+    kernel), so a mask costs ``popcount(M)`` word-wide OR passes
+    instead of a full broadcast row.
     """
     if len(vectors) == 0:
         return int(masks[0]), 0
-    # A profiled vector v survives selection mask M iff v & M == 0
-    # (the null space of a bit-select function is the span of the
-    # unselected coordinates).  Chunked broadcast keeps memory modest.
     vectors = np.asarray(vectors).astype(np.uint64)
     masks = np.asarray(masks).astype(np.uint64)
     weights = np.asarray(weights).astype(np.int64)
+    if n is None:
+        spread = int(np.bitwise_or.reduce(vectors) | np.bitwise_or.reduce(masks))
+        n = max(1, spread.bit_length())
     costs = np.zeros(len(masks), dtype=np.int64)
-    chunk = max(1, (1 << 22) // max(len(vectors), 1))
-    for lo in range(0, len(masks), chunk):
-        sub = masks[lo : lo + chunk]
-        hits = (vectors[None, :] & sub[:, None]) == 0
-        costs[lo : lo + chunk] = hits @ weights
+    if n > 16 and len(masks) * len(vectors) >= _PACKED_MIN_ELEMENTS:
+        planes = pack_bit_planes(vectors, n)
+        total = int(weights.sum())
+        rows_per_chunk = max(1, (1 << 22) // max(planes.shape[1], 1))
+        for lo in range(0, len(masks), rows_per_chunk):
+            sub = masks[lo : lo + rows_per_chunk]
+            hit_rows = packed_any_rows(planes, sub)
+            costs[lo : lo + rows_per_chunk] = total - weighted_popcount(
+                hit_rows, weights
+            )
+    else:
+        # Narrow windows: chunked broadcast of the membership test (the
+        # null space of a bit-select function is the span of the
+        # unselected coordinates).
+        chunk = max(1, (1 << 22) // max(len(vectors), 1))
+        for lo in range(0, len(masks), chunk):
+            sub = masks[lo : lo + chunk]
+            hits = (vectors[None, :] & sub[:, None]) == 0
+            costs[lo : lo + chunk] = hits @ weights
     best_index = int(np.argmin(costs))
     return int(masks[best_index]), int(costs[best_index])

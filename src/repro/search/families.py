@@ -58,6 +58,14 @@ class FunctionFamily:
         """Masks that may replace column ``c`` (excluding the current one)."""
         raise NotImplementedError
 
+    def column_domain(self, c: int) -> np.ndarray:
+        """Every admissible mask for column ``c``, independent of any
+        current function — the absolute per-position alphabet that
+        exact searches (``repro.search.branch_bound``) assign one
+        position at a time.  ``column_candidates`` is the *relative*
+        neighbourhood view of the same sets."""
+        raise NotImplementedError
+
     def random_member(self, rng) -> XorHashFunction:
         """A random full-rank member (used for search restarts)."""
         raise NotImplementedError
@@ -109,6 +117,27 @@ class GeneralXorFamily(FunctionFamily):
                 seen.add(cand)
                 out.append(cand)
         return np.array(out, dtype=np.uint64)
+
+    def column_domain(self, c: int) -> np.ndarray:
+        """All non-zero masks of fan-in at most ``fan_in`` (any column).
+
+        ``2^n - 1`` values before the fan-in filter, so this is only
+        enumerable for the small windows exact search targets.
+        """
+        if self.n > 20:
+            raise ValueError(
+                f"general column domain has 2^{self.n} masks; "
+                "exact search over it is intractable beyond n=20"
+            )
+        masks = np.arange(1, 1 << self.n, dtype=np.uint64)
+        if self.fan_in < self.n:
+            weights = np.zeros(len(masks), dtype=np.int64)
+            for r in range(self.n):
+                weights += ((masks >> np.uint64(r)) & np.uint64(1)).astype(
+                    np.int64
+                )
+            masks = masks[weights <= self.fan_in]
+        return masks
 
     def random_member(self, rng) -> XorHashFunction:
         return XorHashFunction.random(
@@ -182,6 +211,12 @@ class PermutationFamily(FunctionFamily):
         candidates = np.uint64(1 << c) | self._high_subset_array()
         return candidates[candidates != np.uint64(current)]
 
+    def column_domain(self, c: int) -> np.ndarray:
+        """``e_c`` XOR each admissible high-order subset."""
+        if not 0 <= c < self.m:
+            raise IndexError(f"column {c} out of range for m={self.m}")
+        return np.uint64(1 << c) | self._high_subset_array()
+
     def random_member(self, rng) -> XorHashFunction:
         subsets = self._high_subsets()
         if hasattr(rng, "integers"):
@@ -212,6 +247,13 @@ class BitSelectFamily(FunctionFamily):
             if (1 << r) != current and (1 << r) not in used
         ]
         return np.array(out, dtype=np.uint64)
+
+    def column_domain(self, c: int) -> np.ndarray:
+        """Every single bit; distinctness across columns is enforced by
+        the full-rank screen of the consuming search."""
+        if not 0 <= c < self.m:
+            raise IndexError(f"column {c} out of range for m={self.m}")
+        return np.uint64(1) << np.arange(self.n, dtype=np.uint64)
 
     def random_member(self, rng) -> XorHashFunction:
         bits = list(range(self.n))

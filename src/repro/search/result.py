@@ -28,6 +28,15 @@ class SearchResult:
     history: list[int] = field(default_factory=list)
     family_name: str = ""
     strategy_name: str = "steepest"
+    #: Exact-search provenance (branch-and-bound).  ``certified`` means
+    #: ``estimated_misses`` is the proven Eq. 4 optimum over the family;
+    #: ``optimality_gap`` is the distance to the best proven lower bound
+    #: (0 when certified, ``None`` for heuristic strategies that prove
+    #: nothing).  The node counters record search effort for benchmarks.
+    certified: bool = False
+    optimality_gap: int | None = None
+    nodes_expanded: int = 0
+    nodes_pruned: int = 0
 
     @property
     def estimated_removed_fraction(self) -> float:

@@ -14,6 +14,12 @@ the same batched scoring kernel (:mod:`repro.search.batched`):
                           generation; explores around the greedy path.
 ``anneal``                Simulated annealing; escapes local optima by
                           accepting uphill moves with ``exp(-delta/T)``.
+``branch-bound``          Exact search (:mod:`repro.search.branch_bound`):
+                          proves the family optimum, or reports the gap to
+                          the best open bound when the node budget ends.
+``portfolio(k)``          Race the first ``k`` zoo members in lockstep on
+                          shared gathers (:mod:`repro.search.portfolio`);
+                          returns the cheapest finisher.
 ========================  ====================================================
 
 A strategy is anything satisfying :class:`SearchStrategy`; pass an
@@ -211,6 +217,8 @@ class Annealing:
 
 _BEAM_SPEC = re.compile(r"^beam(?:[:(](\d+)\)?)?$")
 _ANNEAL_SPEC = re.compile(r"^anneal(?:[:(](\d+)(?:[:,](\d+))?\)?)?$")
+_BRANCH_BOUND_SPEC = re.compile(r"^branch-?(?:and-?)?bound(?:[:(](\d+)\)?)?$")
+_PORTFOLIO_SPEC = re.compile(r"^portfolio(?:[:(](\d+)\)?)?$")
 
 
 def strategy_for_name(spec) -> SearchStrategy:
@@ -218,7 +226,10 @@ def strategy_for_name(spec) -> SearchStrategy:
 
     Accepts ``"steepest"``, ``"first-improvement"`` (or ``"first"``),
     ``"beam"`` / ``"beam:8"`` / ``"beam(8)"``, ``"anneal"`` /
-    ``"anneal:10000"`` / ``"anneal:10000:7"`` (iterations, seed).
+    ``"anneal:10000"`` / ``"anneal:10000:7"`` (iterations, seed),
+    ``"branch-bound"`` / ``"branch-bound:50000"`` (node budget) and
+    ``"portfolio"`` / ``"portfolio:3"`` (the first ``k`` members of
+    :data:`repro.search.portfolio.DEFAULT_ZOO`; default 2).
     :class:`SearchStrategy` instances pass through unchanged, so every
     entry point takes either form.
     """
@@ -242,4 +253,21 @@ def strategy_for_name(spec) -> SearchStrategy:
         if match.group(2):
             kwargs["seed"] = int(match.group(2))
         return Annealing(**kwargs)
+    match = _BRANCH_BOUND_SPEC.match(text)
+    if match:
+        from repro.search.branch_bound import BranchBound
+
+        if match.group(1):
+            return BranchBound(max_nodes=int(match.group(1)))
+        return BranchBound()
+    match = _PORTFOLIO_SPEC.match(text)
+    if match:
+        from repro.search.portfolio import DEFAULT_ZOO, Portfolio
+
+        k = int(match.group(1)) if match.group(1) else 2
+        if not 1 <= k <= len(DEFAULT_ZOO):
+            raise ValueError(
+                f"portfolio size must be in 1..{len(DEFAULT_ZOO)}, got {k}"
+            )
+        return Portfolio(members=DEFAULT_ZOO[:k])
     raise ValueError(f"unknown search strategy {spec!r}")

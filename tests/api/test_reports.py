@@ -40,6 +40,13 @@ GOLDEN_CASES = {
         "search", "powerstone", "qurt", "--scale", "tiny",
         "--cache-kb", "1", "--restarts", "1", "--json",
     ],
+    # Locks the certified-search report shape: `certified`,
+    # `optimality_gap` and the node counters must reach the JSON.
+    "golden_branch_bound_report.json": lambda tmp: [
+        "search", "powerstone", "fir", "--scale", "tiny",
+        "--cache-kb", "1", "--family", "1-in",
+        "--strategy", "branch-bound", "--json",
+    ],
     "golden_campaign_report.json": lambda tmp: [
         "campaign", "--suite", "powerstone", "--benchmarks", "qurt", "fir",
         "--cache-kb", "1", "--families", "2-in", "--scale", "tiny",

@@ -77,6 +77,27 @@ class TestStrategyComparison:
             assert outcome.estimated_misses >= 0
             assert outcome.exact_misses >= 0
             assert outcome.evaluations > 0
+            # Heuristics prove nothing about their distance to optimal.
+            assert not outcome.certified
+            assert outcome.optimality_gap is None
+
+    def test_certified_reference_column(self, conflict_trace_module):
+        """branch-bound rows carry the exact-search provenance; the
+        portfolio row is never worse than its racing members."""
+        outcomes = strategy_comparison(
+            conflict_trace_module,
+            CacheGeometry.direct_mapped(1024),
+            family="1-in",
+            strategies=("steepest", "portfolio", "branch-bound"),
+        )
+        by_name = {o.strategy: o for o in outcomes}
+        exact = by_name["branch-bound"]
+        assert exact.certified
+        assert exact.optimality_gap == 0
+        steepest = by_name["steepest"]
+        race = by_name["portfolio(steepest+first-improvement)"]
+        assert exact.estimated_misses <= race.estimated_misses
+        assert race.estimated_misses <= steepest.estimated_misses
 
     def test_restarts_ablation_accepts_strategy(self, conflict_trace_module):
         result = restarts_ablation(
