@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Talk to the optimization service: submit a spec, get a report.
+
+The service puts the repo's core contract on a socket: every
+experiment is a frozen, digestable spec and every result a replayable
+``repro-report/v1`` document, so a client needs exactly two verbs —
+POST the spec, GET the report.  This example shows the full loop,
+including the two kinds of deduplication the service layers together:
+
+* **in flight** — concurrent submissions of the same spec (same
+  ``spec.digest``) coalesce onto one job and one computation;
+* **at rest** — a re-submission after the job finished replays from
+  the artifact cache (``cached: true``), recomputing nothing, even
+  across server restarts when the cache directory is sqlite-backed.
+
+Run against a live server:
+
+    repro serve --port 8738 --cache-dir /tmp/repro-serve-cache &
+    python examples/serve_client.py 127.0.0.1:8738
+
+With no argument the example is self-contained: it starts a server in
+a background thread on a free port, talks to it over a real socket,
+and shuts it down cleanly.
+"""
+
+import json
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.api import Session
+from repro.serve import ReproServer, ServeClient
+
+SPEC_FILE = Path(__file__).parent / "experiment.toml"
+
+
+def demo(client: ServeClient) -> None:
+    print(f"server: http://{client.host}:{client.port}")
+    print(f"health: {client.healthz()}")
+    spec_toml = SPEC_FILE.read_text()
+
+    # Two clients race the same spec: in-flight dedup gives both the
+    # same job id, and the computation runs once.
+    print(f"\nsubmitting {SPEC_FILE.name} from two concurrent clients ...")
+    submissions = []
+    threads = [
+        threading.Thread(target=lambda: submissions.append(client.submit(spec_toml)))
+        for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for s in submissions:
+        print(f"  job {s['job_id']}  deduplicated={s['deduplicated']}")
+
+    job = client.wait(submissions[0]["job_id"])
+    report = job["report"]
+    print(f"\njob {job['job_id']}: {job['state']} "
+          f"(attempts={job['attempts']}, cached={job['cached']})")
+    print(f"report schema: {report['schema']}")
+    print(f"  {report['trace_name']}: {report['baseline']['misses']} -> "
+          f"{report['optimized']['misses']} misses "
+          f"({report['removed_percent']:.1f}% removed)")
+
+    # Re-submit after completion: a fresh job, served from the cache.
+    replay = client.run(spec_toml)
+    print(f"\nre-submission: job {replay['job_id']} cached={replay['cached']}")
+    assert replay["report"] == report, "replay must be byte-identical"
+
+    stats = client.stats()
+    print(f"\n/v1/stats: jobs={stats['jobs']}")
+    print(f"  cache: {json.dumps(stats['cache']['totals'])} "
+          f"(storage={stats['cache']['storage']})")
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:  # talk to a live `repro serve`
+        host, _, port = argv[0].partition(":")
+        demo(ServeClient(host=host or "127.0.0.1", port=int(port or 8738)))
+        return
+    # Self-contained: in-thread server on a free port, sqlite cache.
+    with tempfile.TemporaryDirectory(prefix="repro-serve-demo-") as cache_dir:
+        session = Session(cache_dir=cache_dir, storage="sqlite")
+        server = ReproServer(session=session, port=0, workers=2, own_session=True)
+        handle = server.run_in_thread()
+        try:
+            demo(ServeClient(port=handle.port))
+        finally:
+            handle.stop()
+        print("\nserver stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

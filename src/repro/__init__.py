@@ -33,8 +33,10 @@ Packages:
 * :mod:`repro.search` — hill climbing and exhaustive baselines;
 * :mod:`repro.hardware` — reconfigurable selector-network models;
 * :mod:`repro.core` — the end-to-end optimization pipeline;
-* :mod:`repro.pipeline` — content-addressed artifact cache and the
-  parallel campaign runner;
+* :mod:`repro.pipeline` — content-addressed artifact cache (pluggable
+  local/sqlite storage) and the parallel campaign runner;
+* :mod:`repro.serve` — the long-lived HTTP optimization service behind
+  ``repro serve`` (in-flight dedup, job registry, client helpers);
 * :mod:`repro.experiments` — drivers regenerating every paper table/figure.
 """
 

@@ -20,6 +20,8 @@ Commands:
   restart count) without the exact verification replay;
 * ``campaign``  — run a benchmark x cache x family grid through the
   artifact cache, in parallel across cores;
+* ``serve``     — long-lived HTTP optimization service: POST specs to
+  ``/v1/jobs``, in-flight dedup by spec digest, reports over HTTP;
 * ``tables``    — regenerate the paper's tables/figures;
 * ``workloads`` — list the bundled benchmark kernels;
 * ``backends``  — list the registered compute backends and which one
@@ -493,6 +495,25 @@ def cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ReproServer
+
+    # Session workers stay None so each spec's own execution.workers
+    # governs sharded profiling; --workers bounds the job thread pool.
+    session = Session(cache_dir=args.cache_dir, storage=args.storage)
+    server = ReproServer(
+        session=session,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        retries=args.retries,
+        own_session=True,
+    )
+    server.run()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -727,6 +748,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_args(p_camp)
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived HTTP optimization service (POST specs, GET reports)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8738,
+        help="TCP port (default 8738; 0 picks a free port)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None,
+        help="artifact-cache root shared by every job (and, with sqlite "
+        "storage, by other service replicas); default: in-memory only",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="job worker threads (default 2)",
+    )
+    p_serve.add_argument(
+        "--storage", choices=("local", "sqlite"), default="sqlite",
+        help="cache storage backend (default sqlite: one WAL-journaled "
+        "index safe for many concurrent replicas; pass local to reuse an "
+        "existing directory-layout cache)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="max jobs in flight before submissions get 503 (default 64)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=0,
+        help="default retry budget for jobs whose spec sets none",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_tab = sub.add_parser("tables", help="regenerate paper tables")
     p_tab.add_argument(

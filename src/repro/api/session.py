@@ -195,14 +195,29 @@ class Session:
         each run pick: serial for single experiments, one per core for
         grids).  Explicit session settings win over a spec's
         ``execution`` table.
+    storage:
+        Artifact-cache byte-store backend name (``"local"``,
+        ``"sqlite"``; ``None`` resolves automatically — see
+        :func:`repro.pipeline.storage.resolve_storage`).
+
+    A session is a context manager: ``with Session(...) as s: ...``
+    deterministically releases cache backends and any pooled executors
+    adopted via :meth:`adopt` on exit (long-lived embedders — e.g. the
+    ``repro serve`` front end — call :meth:`close` explicitly).
     """
 
     def __init__(
-        self, cache_dir: str | Path | None = None, workers: int | None = None
+        self,
+        cache_dir: str | Path | None = None,
+        workers: int | None = None,
+        storage: str | None = None,
     ):
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.workers = workers
+        self.storage = storage
         self._contexts: dict[str | None, PipelineContext] = {}
+        self._adopted: list[Any] = []
+        self._closed = False
 
     # -- environment -------------------------------------------------------
 
@@ -211,9 +226,47 @@ class Session:
         root = cache_dir if cache_dir is not None else self.cache_dir
         ctx = self._contexts.get(root)
         if ctx is None:
-            ctx = PipelineContext(root)
+            ctx = PipelineContext(root, storage=self.storage)
             self._contexts[root] = ctx
         return ctx
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def adopt(self, resource: Any) -> Any:
+        """Tie ``resource``'s shutdown to the session's :meth:`close`.
+
+        Anything with a ``shutdown(wait=True)`` (executor pools) or
+        ``close()`` method qualifies; resources are released in reverse
+        adoption order.  Returns ``resource`` for chaining.
+        """
+        self._adopted.append(resource)
+        return resource
+
+    def close(self) -> None:
+        """Deterministically release everything the session owns.
+
+        Shuts down adopted executors (waiting for in-flight work),
+        closes every pipeline context's cache backend, and leaves the
+        session reusable only for stats inspection.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for resource in reversed(self._adopted):
+            shutdown = getattr(resource, "shutdown", None)
+            if callable(shutdown):
+                shutdown(wait=True)
+            else:
+                resource.close()
+        self._adopted.clear()
+        for ctx in self._contexts.values():
+            ctx.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def activate(self):
         """``with session.activate():`` — make the session ambient, so
@@ -236,11 +289,19 @@ class Session:
         return backend_status()
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
-        """Artifact-cache counters summed over the session's contexts."""
+        """Artifact-cache counters summed over the session's contexts.
+
+        Every per-kind bucket carries the full event set — ``hits``,
+        ``misses``, ``stores`` and ``quarantined`` — zero-filled, so
+        consumers (the ``/v1/stats`` endpoint, dashboards) can read the
+        self-healing counter without guarding for its absence.
+        """
         totals: dict[str, dict[str, int]] = {}
         for ctx in self._contexts.values():
             for kind, per_kind in ctx.cache_stats().items():
-                bucket = totals.setdefault(kind, {})
+                bucket = totals.setdefault(
+                    kind, {"hits": 0, "misses": 0, "stores": 0, "quarantined": 0}
+                )
                 for event, count in per_kind.items():
                     bucket[event] = bucket.get(event, 0) + count
         return totals

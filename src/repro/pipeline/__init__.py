@@ -5,7 +5,9 @@ Three pieces:
 * :class:`~repro.pipeline.artifact_cache.ArtifactCache` — on-disk,
   content-addressed store for conflict profiles, exact simulation
   stats and whole optimization outcomes, keyed by stable digests of
-  their inputs (trace content, geometry, window, family, seeds);
+  their inputs (trace content, geometry, window, family, seeds), with
+  pluggable byte-store backends (:mod:`repro.pipeline.storage`: local
+  directory layout or a sqlite index shared by concurrent replicas);
 * :class:`~repro.pipeline.context.PipelineContext` — the session
   object threaded (explicitly or ambiently, via
   :func:`~repro.pipeline.runtime.use_context`) through
@@ -43,6 +45,14 @@ from repro.pipeline.faults import (
 )
 from repro.pipeline.resilience import TaskOutcome, run_resilient, run_serial_resilient
 from repro.pipeline.runtime import current_context, use_context
+from repro.pipeline.storage import (
+    STORAGE_BACKENDS,
+    STORAGE_ENV,
+    LocalDirStorage,
+    SqliteStorage,
+    StorageBackend,
+    resolve_storage,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -68,4 +78,10 @@ __all__ = [
     "TaskOutcome",
     "run_resilient",
     "run_serial_resilient",
+    "STORAGE_BACKENDS",
+    "STORAGE_ENV",
+    "StorageBackend",
+    "LocalDirStorage",
+    "SqliteStorage",
+    "resolve_storage",
 ]

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk store for derived pipeline artifacts.
+"""Content-addressed store for derived pipeline artifacts.
 
 Every artifact a campaign needs more than once — conflict profiles,
 baseline / exact-simulation statistics, whole optimization outcomes —
@@ -9,17 +9,22 @@ Identical inputs therefore share one artifact across runs, processes
 and drivers, and any input change invalidates by construction (a new
 key simply misses).
 
-Layout: ``<root>/<kind>/<key[:2]>/<key>.<json|npz>`` with atomic
-(write-temp-then-rename) stores, so concurrent campaign workers can
-share one cache directory without locking: the worst case is two
-workers computing the same artifact and one rename winning.
+Where the bytes live is pluggable (:mod:`repro.pipeline.storage`): the
+default local-directory backend keeps the original
+``<root>/<kind>/<key[:2]>/<key>.<json|npz>`` layout with atomic
+(write-temp-then-rename) stores, and a sqlite backend packs the cache
+into one WAL-journaled ``index.sqlite`` that many concurrent service
+replicas can share.  Concurrent same-key writers are safe under both:
+artifacts are content-addressed, so the last store wins with identical
+bytes.
 
-The cache is *self-healing*: every store writes a ``.sha256`` sidecar,
-every load verifies it, and an entry that fails verification — or
-fails to parse at all (torn write, truncated archive, bad zip) — is
-moved to ``<root>/.quarantine/`` and reported as a miss, so the caller
-transparently recomputes it.  Entries predating the sidecars verify as
-legacy (accepted unchecked) until their next store.
+The cache is *self-healing* regardless of backend: every store records
+a sha256 of the artifact, every load verifies it, and an entry that
+fails verification — or fails to parse at all (torn write, truncated
+archive, bad zip) — is moved to ``<root>/.quarantine/`` and reported
+as a miss, so the caller transparently recomputes it.  Local entries
+predating the checksums verify as legacy (accepted unchecked) until
+their next store.
 """
 
 from __future__ import annotations
@@ -27,7 +32,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import zipfile
 from pathlib import Path
 from typing import Any
@@ -35,6 +39,7 @@ from typing import Any
 import numpy as np
 
 from repro.pipeline.faults import FaultInjected, maybe_inject, should_corrupt
+from repro.pipeline.storage import StorageBackend, resolve_storage
 from repro.profiling.conflict_profile import ConflictProfile
 
 __all__ = ["ArtifactCache", "default_cache_dir", "stable_key"]
@@ -73,12 +78,32 @@ class ArtifactCache:
     Counters are per-instance and per-kind; campaign workers report
     them back so a run can prove (e.g. in CI) that a warm replay
     recomputed nothing.
+
+    ``storage`` selects the byte-store backend — a
+    :class:`~repro.pipeline.storage.StorageBackend` instance, a
+    registered name (``"local"``, ``"sqlite"``), or ``None`` for
+    automatic resolution (env var, ``index.sqlite`` detection, local
+    default).
     """
 
-    def __init__(self, root: str | Path | None = None):
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        storage: StorageBackend | str | None = None,
+    ):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.root.mkdir(parents=True, exist_ok=True)
+        self.storage = resolve_storage(self.root, storage)
         self.counters: dict[str, dict[str, int]] = {}
+
+    @property
+    def storage_name(self) -> str:
+        """Registry name of the active byte-store backend."""
+        return self.storage.name
+
+    def close(self) -> None:
+        """Release backend resources (sqlite connections, spool files)."""
+        self.storage.close()
 
     # -- accounting --------------------------------------------------------
 
@@ -109,108 +134,54 @@ class ArtifactCache:
     # -- paths -------------------------------------------------------------
 
     def path_for(self, kind: str, key: str, suffix: str) -> Path:
-        return self.root / kind / key[:2] / f"{key}{suffix}"
+        """Live on-disk path of an artifact (directory backends only)."""
+        path_for = getattr(self.storage, "path_for", None)
+        if path_for is None:
+            raise ValueError(
+                f"{self.storage.name!r} storage has no per-artifact paths"
+            )
+        return path_for(kind, key, suffix)
 
     @property
     def quarantine_dir(self) -> Path:
         """Where corrupt entries are moved (created on first use)."""
-        return self.root / ".quarantine"
-
-    @staticmethod
-    def _checksum_path(path: Path) -> Path:
-        return path.with_name(path.name + ".sha256")
-
-    @staticmethod
-    def _file_digest(path: Path) -> str:
-        digest = hashlib.sha256()
-        with open(path, "rb") as fh:
-            while chunk := fh.read(1 << 20):
-                digest.update(chunk)
-        return digest.hexdigest()
-
-    def _store_atomic(self, path: Path, write) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=path.suffix
-        )
-        os.close(fd)
-        try:
-            write(Path(tmp))
-            digest = self._file_digest(Path(tmp))
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        # Sidecar lands after the artifact: a crash in between leaves a
-        # legacy (sidecar-less) entry, which loads accept unchecked.
-        # Concurrent same-key stores are safe — artifacts are content-
-        # addressed, so both writers produce the same digest.
-        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".sha256")
-        try:
-            os.write(fd, (digest + "\n").encode())
-        finally:
-            os.close(fd)
-        os.replace(tmp, self._checksum_path(path))
+        return self.storage.quarantine_dir
 
     # -- self-healing ------------------------------------------------------
 
-    def _quarantine(self, kind: str, path: Path) -> None:
-        """Move a corrupt entry (and its sidecar) out of the live tree."""
-        qdir = self.quarantine_dir
-        qdir.mkdir(parents=True, exist_ok=True)
-        moved = False
-        for victim in (path, self._checksum_path(path)):
-            try:
-                os.replace(victim, qdir / f"{kind}-{victim.name}")
-                moved = True
-            except OSError:
-                pass
-        if moved:
+    def _quarantine(self, kind: str, key: str, suffix: str) -> None:
+        """Move a corrupt entry out of the live store and count it."""
+        if self.storage.quarantine(kind, key, suffix):
             self._bump(kind, "quarantined")
 
-    def _usable(self, kind: str, key: str, path: Path) -> bool:
-        """Pre-parse gate: fault hooks + checksum verification.
+    def _materialize(self, kind: str, key: str, suffix: str) -> Path | None:
+        """Pre-parse gate: fault hooks + checksum-verified materialization.
 
-        Returns False for anything that must be treated as a miss; a
-        checksum mismatch additionally quarantines the entry so the
-        recompute's store starts clean.
+        Returns a readable path, or ``None`` for anything that must be
+        treated as a miss; a checksum mismatch additionally quarantines
+        the entry so the recompute's store starts clean.  Callers must
+        :meth:`~repro.pipeline.storage.StorageBackend.release` the path
+        once parsed.
         """
-        # An injected cache.load error is a plain miss — the entry on
-        # disk is healthy, so it must NOT be quarantined.
+        # An injected cache.load error is a plain miss — the stored
+        # entry is healthy, so it must NOT be quarantined.
         maybe_inject("cache.load", f"{kind}/{key}")
-        if not path.exists():
-            return False
         if should_corrupt("cache.load", f"{kind}/{key}"):
             # Simulate a torn write physically: the verification and
             # quarantine paths below must then heal it end to end.
-            try:
-                with open(path, "r+b") as fh:
-                    fh.truncate(max(path.stat().st_size // 2, 1))
-            except OSError:
-                pass
-        sidecar = self._checksum_path(path)
-        try:
-            expected = sidecar.read_text().strip()
-        except OSError:
-            return True  # legacy entry: no sidecar to check against
-        try:
-            actual = self._file_digest(path)
-        except OSError:
-            return False
-        if actual == expected:
-            return True
-        self._quarantine(kind, path)
-        return False
+            self.storage.corrupt(kind, key, suffix)
+        path, quarantined = self.storage.materialize(kind, key, suffix)
+        if quarantined:
+            self._bump(kind, "quarantined")
+        return path
 
     # -- JSON artifacts ----------------------------------------------------
 
     def load_json(self, kind: str, key: str) -> dict | None:
-        path = self.path_for(kind, key, ".json")
+        path = None
         try:
-            if not self._usable(kind, key, path):
+            path = self._materialize(kind, key, ".json")
+            if path is None:
                 raise FaultInjected  # unified miss path below
             try:
                 with open(path) as fh:
@@ -218,18 +189,22 @@ class ArtifactCache:
             except json.JSONDecodeError:
                 # Checksum passed (or legacy) but the content is not
                 # JSON: the entry is damaged beyond a short read.
-                self._quarantine(kind, path)
+                self._quarantine(kind, key, ".json")
                 raise FaultInjected from None
         except (FaultInjected, *LOAD_ERRORS):
             self._bump(kind, "misses")
             return None
+        finally:
+            if path is not None:
+                self.storage.release(path)
         self._bump(kind, "hits")
         return payload
 
     def store_json(self, kind: str, key: str, payload: dict) -> None:
-        path = self.path_for(kind, key, ".json")
         text = json.dumps(payload, sort_keys=True)
-        self._store_atomic(path, lambda tmp: tmp.write_text(text + "\n"))
+        self.storage.store(
+            kind, key, ".json", lambda tmp: tmp.write_text(text + "\n")
+        )
         self._bump(kind, "stores")
 
     # -- conflict-profile artifacts ----------------------------------------
@@ -238,37 +213,41 @@ class ArtifactCache:
         """Load a profile artifact; ``kind`` separates the whole-trace
         ``"profile"`` namespace from per-shard ``"shard-profile"``
         partials."""
-        path = self.path_for(kind, key, ".npz")
+        path = None
         try:
-            if not self._usable(kind, key, path):
+            path = self._materialize(kind, key, ".npz")
+            if path is None:
                 raise FaultInjected  # unified miss path below
             try:
                 profile = ConflictProfile.load(path)
             except FileNotFoundError:
                 raise FaultInjected from None
             except LOAD_ERRORS:
-                self._quarantine(kind, path)
+                self._quarantine(kind, key, ".npz")
                 raise FaultInjected from None
         except FaultInjected:
             self._bump(kind, "misses")
             return None
+        finally:
+            if path is not None:
+                self.storage.release(path)
         self._bump(kind, "hits")
         return profile
 
     def store_profile(
         self, key: str, profile: ConflictProfile, kind: str = "profile"
     ) -> None:
-        path = self.path_for(kind, key, ".npz")
-        self._store_atomic(path, profile.save)
+        self.storage.store(kind, key, ".npz", profile.save)
         self._bump(kind, "stores")
 
     # -- generic array artifacts -------------------------------------------
 
     def load_arrays(self, kind: str, key: str) -> dict[str, Any] | None:
         """Load an npz bundle of named arrays (e.g. shard scan states)."""
-        path = self.path_for(kind, key, ".npz")
+        path = None
         try:
-            if not self._usable(kind, key, path):
+            path = self._materialize(kind, key, ".npz")
+            if path is None:
                 raise FaultInjected  # unified miss path below
             try:
                 with np.load(path) as data:
@@ -276,23 +255,26 @@ class ArtifactCache:
             except FileNotFoundError:
                 raise FaultInjected from None
             except LOAD_ERRORS:
-                self._quarantine(kind, path)
+                self._quarantine(kind, key, ".npz")
                 raise FaultInjected from None
         except FaultInjected:
             self._bump(kind, "misses")
             return None
+        finally:
+            if path is not None:
+                self.storage.release(path)
         self._bump(kind, "hits")
         return payload
 
     def store_arrays(self, kind: str, key: str, arrays: dict[str, Any]) -> None:
-        path = self.path_for(kind, key, ".npz")
-        self._store_atomic(
-            path, lambda tmp: np.savez_compressed(tmp, **arrays)
+        self.storage.store(
+            kind, key, ".npz", lambda tmp: np.savez_compressed(tmp, **arrays)
         )
         self._bump(kind, "stores")
 
     def __repr__(self) -> str:
         return (
-            f"ArtifactCache(root={str(self.root)!r}, hits={self.hits}, "
+            f"ArtifactCache(root={str(self.root)!r}, "
+            f"storage={self.storage_name!r}, hits={self.hits}, "
             f"misses={self.misses}, stores={self.stores})"
         )

@@ -71,9 +71,13 @@ def _function_from_json(payload: dict) -> XorHashFunction:
 class PipelineContext:
     """Session threading one artifact cache through the pipeline."""
 
-    def __init__(self, cache: ArtifactCache | str | Path | None = None):
+    def __init__(
+        self,
+        cache: ArtifactCache | str | Path | None = None,
+        storage: str | None = None,
+    ):
         if isinstance(cache, (str, Path)):
-            cache = ArtifactCache(cache)
+            cache = ArtifactCache(cache, storage=storage)
         self.cache = cache
         # In-process memo over the disk store: repeated asks within one
         # session (e.g. one profile shared by three families) cost a
@@ -83,6 +87,12 @@ class PipelineContext:
     def activate(self):
         """``with ctx.activate():`` — make this the ambient context."""
         return use_context(self)
+
+    def close(self) -> None:
+        """Release the cache's backend resources and drop the memo."""
+        if self.cache is not None:
+            self.cache.close()
+        self._memo.clear()
 
     @property
     def cache_root(self) -> Path | None:

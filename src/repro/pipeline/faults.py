@@ -13,7 +13,8 @@ module provides both properties:
   - ``campaign.task``   — entry of one campaign task in a worker;
   - ``shard.profile``   — entry of one shard scan/profile task;
   - ``cache.load``      — an artifact-cache read;
-  - ``backend.kernel``  — a compute-backend kernel call.
+  - ``backend.kernel``  — a compute-backend kernel call;
+  - ``serve.job``       — entry of one ``repro serve`` job execution.
 
 * **Deterministic draws.**  Whether a fault fires is a pure function of
   ``(site, seed, key, attempt)`` — a SHA-256 hash compared against the
@@ -79,7 +80,13 @@ __all__ = [
 FAULTS_ENV = "REPRO_FAULTS"
 
 #: The named injection sites the execution stack exposes.
-FAULT_SITES = ("campaign.task", "shard.profile", "cache.load", "backend.kernel")
+FAULT_SITES = (
+    "campaign.task",
+    "shard.profile",
+    "cache.load",
+    "backend.kernel",
+    "serve.job",
+)
 
 #: The fault kinds a spec can inject.
 FAULT_KINDS = ("error", "delay", "truncate", "kill")

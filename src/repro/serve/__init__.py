@@ -1,0 +1,34 @@
+"""The long-lived optimization service (``repro serve``).
+
+PR 5 made every experiment a frozen, digestable
+:class:`~repro.api.spec.ExperimentSpec` and every result a replayable
+``repro-report/v1`` document — exactly the contract a service needs.
+This package puts that contract on a socket:
+
+* :class:`~repro.serve.server.ReproServer` — stdlib-asyncio HTTP front
+  end over a shared :class:`~repro.api.session.Session`: POST a spec,
+  get a job id; identical in-flight specs share one computation
+  (dedup by ``spec.digest``); finished jobs return the exact report.
+* :class:`~repro.serve.jobs.JobRegistry` — the thread-safe job table
+  and in-flight dedup map behind the server.
+* :class:`~repro.serve.client.ServeClient` — stdlib client helpers
+  (submit / poll / fetch-report) for examples, tests and CI.
+
+Many replicas can share one artifact cache by pointing ``--cache-dir``
+at a sqlite-backed root (see :mod:`repro.pipeline.storage`).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import JOB_STATES, Job, JobRegistry, QueueFull
+from repro.serve.server import ReproServer, ServerHandle
+
+__all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobRegistry",
+    "QueueFull",
+    "ReproServer",
+    "ServerHandle",
+    "ServeClient",
+    "ServeError",
+]

@@ -1,0 +1,117 @@
+"""Stdlib HTTP client for the ``repro serve`` endpoint.
+
+:class:`ServeClient` wraps :mod:`http.client` (no new deps) around the
+``/v1`` API: submit a spec, poll its job, fetch the ``repro-report/v1``
+document.  :meth:`ServeClient.run` is the one-call path — submit, wait,
+return the finished job (report included) — used by
+``examples/serve_client.py`` and the CI smoke check.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Mapping
+
+from repro.api.spec import ExperimentSpec
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response (or a failed job) from the service."""
+
+    def __init__(self, status: int, payload: Any):
+        message = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """One server endpoint; connections are per-request (the server
+    answers ``Connection: close``), so a client is cheap and
+    thread-safe to share."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8738, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> Any:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": content_type} if body is not None else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        payload = json.loads(raw) if raw else None
+        if response.status >= 400:
+            raise ServeError(response.status, payload)
+        return payload
+
+    # -- API ---------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, spec: "ExperimentSpec | Mapping | str") -> dict:
+        """POST a spec; returns ``{job_id, digest, state, deduplicated}``.
+
+        ``spec`` may be an :class:`~repro.api.spec.ExperimentSpec`, its
+        ``to_dict`` mapping, or a TOML document string.
+        """
+        if isinstance(spec, str):
+            return self._request(
+                "POST", "/v1/jobs", spec.encode(), content_type="application/toml"
+            )
+        if isinstance(spec, ExperimentSpec):
+            spec = spec.to_dict()
+        return self._request("POST", "/v1/jobs", json.dumps(dict(spec)).encode())
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """Job status (includes ``report`` once done)."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def report(self, job_id: str) -> dict:
+        """The bare ``repro-report/v1`` document for a finished job."""
+        return self._request("GET", f"/v1/jobs/{job_id}/report")
+
+    def wait(self, job_id: str, timeout: float = 600.0, poll: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns its final status.
+
+        Raises :class:`ServeError` on a failed job or :class:`TimeoutError`
+        if the deadline passes first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] == "done":
+                return job
+            if job["state"] == "failed":
+                raise ServeError(500, {"error": f"job {job_id} failed: {job['error']}"})
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {job['state']} after {timeout}s")
+            time.sleep(poll)
+
+    def run(self, spec: "ExperimentSpec | Mapping | str", timeout: float = 600.0) -> dict:
+        """Submit and wait; the returned job carries the full report."""
+        submitted = self.submit(spec)
+        return self.wait(submitted["job_id"], timeout=timeout)

@@ -219,3 +219,63 @@ class TestTaskBridge:
         task = spec_to_task(spec)
         assert task.geometry.associativity == 2
         assert task_to_spec(task) == spec
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self, tmp_path):
+        with Session(cache_dir=tmp_path) as session:
+            session.optimize(tiny_spec())
+        # Closed contexts keep their counters readable.
+        assert recomputed(session) > 0
+
+    def test_close_is_idempotent(self, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        session.optimize(tiny_spec())
+        session.close()
+        session.close()
+
+    def test_close_shuts_down_adopted_executors(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        session = Session()
+        pool = session.adopt(ThreadPoolExecutor(max_workers=1))
+        assert pool.submit(lambda: 41 + 1).result() == 42
+        session.close()
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: 0)
+
+    def test_close_releases_sqlite_backend(self, tmp_path):
+        session = Session(cache_dir=tmp_path, storage="sqlite")
+        session.optimize(tiny_spec())
+        backend = session.context().cache.storage
+        session.close()
+        # The sqlite connection is really gone after close.
+        import sqlite3
+
+        with pytest.raises(sqlite3.ProgrammingError):
+            backend._conn.execute("SELECT 1")
+
+
+class TestCacheStats:
+    def test_quarantined_always_present(self, tmp_path):
+        """The PR-8 self-healing counter is part of every bucket, so
+        /v1/stats consumers never need to guard for its absence."""
+        session = Session(cache_dir=tmp_path)
+        session.optimize(tiny_spec())
+        stats = session.cache_stats()
+        assert stats
+        for per_kind in stats.values():
+            assert set(per_kind) >= {"hits", "misses", "stores", "quarantined"}
+            assert per_kind["quarantined"] == 0
+
+    def test_quarantined_counts_surface(self, tmp_path):
+        from repro.pipeline import use_faults
+
+        session = Session(cache_dir=tmp_path)
+        session.optimize(tiny_spec())
+        fresh = Session(cache_dir=tmp_path)
+        with use_faults("cache.load:truncate:p=1:count=1"):
+            fresh.optimize(tiny_spec())
+        assert sum(
+            per_kind["quarantined"] for per_kind in fresh.cache_stats().values()
+        ) >= 1
